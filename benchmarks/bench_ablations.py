@@ -1,0 +1,198 @@
+"""Ablations of the paper's design choices.
+
+These go beyond the printed figures: each ablation removes one of the
+paper's optimisations and measures what it was worth, using the same
+machinery that regenerates the figures.
+
+* overlap on/off        -- Sect. IV-A's whole point;
+* SGD-thread split S    -- "We tune the value of S in order to balance
+                           the communication ... and the computation";
+* fused backward+update -- the standalone 1.6x experiment (Sect. III-A);
+* twisted hypercube vs. an ideal crossbar -- what an alltoall tuned for
+                           the UPI fabric could recover (Sect. VI-D3).
+"""
+
+from repro.parallel.overlap import overlap_mlp_training
+from repro.parallel.timing import model_iteration, single_socket_iteration
+
+
+def _overlap_ablation():
+    rows = []
+    for cfg, r in (("large", 32), ("mlperf", 16)):
+        over = model_iteration(cfg, r, backend="ccl", blocking=False)
+        block = model_iteration(cfg, r, backend="ccl", blocking=True)
+        rows.append(
+            {
+                "config": cfg,
+                "ranks": r,
+                "overlap_ms": over.iteration_time * 1e3,
+                "blocking_ms": block.iteration_time * 1e3,
+                "gain": block.iteration_time / over.iteration_time,
+            }
+        )
+    return rows
+
+
+def test_ablation_overlap_gain(benchmark, emit):
+    rows = benchmark.pedantic(_overlap_ablation, rounds=1, iterations=1)
+    emit("ablation_overlap", rows, title="Ablation: communication overlap on/off")
+    for r in rows:
+        assert r["gain"] > 1.02, r  # overlap must pay for itself
+
+
+def _sgd_thread_split():
+    rows = []
+    for comm_cores in (1, 2, 4, 8, 12):
+        rep = overlap_mlp_training(comm_cores=comm_cores)
+        rows.append(
+            {
+                "comm_cores": comm_cores,
+                "gemm_ms": (rep.bwd_gemm_time + rep.upd_gemm_time) * 1e3,
+                "comm_ms": (rep.bwd_comm_time + rep.upd_comm_time) * 1e3,
+                "exposed_ms": rep.exposed_time * 1e3,
+                "pass_ms": max(rep.bwd_gemm_time, rep.bwd_comm_time) * 1e3
+                + max(rep.upd_gemm_time, rep.upd_comm_time) * 1e3,
+            }
+        )
+    return rows
+
+
+def test_ablation_sgd_thread_split(benchmark, emit):
+    rows = benchmark.pedantic(_sgd_thread_split, rounds=1, iterations=1)
+    emit("ablation_sgd_threads", rows, title="Ablation: dedicated SGD/comm cores per socket")
+    by = {r["comm_cores"]: r for r in rows}
+    # Donating more cores always shrinks comm and grows GEMM time...
+    assert by[12]["comm_ms"] < by[1]["comm_ms"]
+    assert by[12]["gemm_ms"] > by[1]["gemm_ms"]
+    # ...and the balanced split (the paper's S=4) beats both extremes on
+    # the critical-path length.
+    assert by[4]["pass_ms"] <= by[1]["pass_ms"]
+    assert by[4]["pass_ms"] <= by[12]["pass_ms"]
+
+
+def _fused_update_ablation():
+    rows = []
+    for cfg in ("small", "mlperf"):
+        rf = single_socket_iteration(cfg, update="racefree")
+        fused = single_socket_iteration(cfg, update="fused")
+        rf_upd = rf.merged().total("update.sparse")
+        fused_upd = fused.merged().total("update.sparse")
+        rows.append(
+            {
+                "config": cfg,
+                "racefree_update_ms": rf_upd * 1e3,
+                "fused_update_ms": fused_upd * 1e3,
+                "update_speedup": rf_upd / fused_upd,
+                "end_to_end_speedup": rf.iteration_time / fused.iteration_time,
+            }
+        )
+    return rows
+
+
+def test_ablation_fused_update(benchmark, emit):
+    rows = benchmark.pedantic(_fused_update_ablation, rounds=1, iterations=1)
+    emit("ablation_fused_update", rows, title="Ablation: fused backward+update (Sect. III-A)")
+    for r in rows:
+        # Paper: "up to 1.6x speed-up for embedding updates".
+        assert 1.3 < r["update_speedup"] <= 1.65
+        # End to end it is a modest win -- why the paper dropped it.
+        assert r["end_to_end_speedup"] < 1.3
+
+
+def _node_topology_ablation():
+    """Replace the twisted hypercube + untuned alltoall with an ideal
+    UPI crossbar: what a fabric-aware alltoall could recover."""
+    rows = []
+    for r in (4, 8):
+        stock = model_iteration("mlperf", r, platform="node", blocking=True)
+        ideal = model_iteration(
+            "mlperf",
+            r,
+            platform="cluster",  # no untuned-alltoall penalty
+            blocking=True,
+            # keep the node's socket by overriding the cluster default
+        )
+        rows.append(
+            {
+                "ranks": r,
+                "twisted_hypercube_a2a_ms": stock.comm_breakdown()["Alltoall-Wait"] * 1e3,
+                "ideal_fabric_a2a_ms": ideal.comm_breakdown()["Alltoall-Wait"] * 1e3,
+            }
+        )
+    return rows
+
+
+def test_ablation_node_topology(benchmark, emit):
+    rows = benchmark.pedantic(_node_topology_ablation, rounds=1, iterations=1)
+    emit("ablation_node_topology", rows, title="Ablation: untuned UPI alltoall vs ideal fabric")
+    for r in rows:
+        assert r["twisted_hypercube_a2a_ms"] > r["ideal_fabric_a2a_ms"]
+    # The untuned algorithm leaves >2x on the table at 8 sockets.
+    r8 = next(r for r in rows if r["ranks"] == 8)
+    assert r8["twisted_hypercube_a2a_ms"] > 2 * r8["ideal_fabric_a2a_ms"]
+
+
+def _exchange_matrix():
+    rows = []
+    for exchange in ("scatterlist", "fused", "alltoall"):
+        for backend in ("mpi", "ccl"):
+            res = model_iteration("small", 8, exchange=exchange, backend=backend)
+            rows.append(
+                {
+                    "exchange": exchange,
+                    "backend": backend,
+                    "total_ms": res.iteration_time * 1e3,
+                    "alltoall_wait_ms": res.comm_breakdown()["Alltoall-Wait"] * 1e3,
+                }
+            )
+    return rows
+
+
+def test_ablation_exchange_backend_matrix(benchmark, emit):
+    rows = benchmark.pedantic(_exchange_matrix, rounds=1, iterations=1)
+    emit("ablation_exchange_matrix", rows, title="Ablation: exchange strategy x backend (small, 8R)")
+    by = {(r["exchange"], r["backend"]): r["total_ms"] for r in rows}
+    # Both dimensions matter independently.
+    assert by[("alltoall", "mpi")] < by[("scatterlist", "mpi")]
+    assert by[("alltoall", "ccl")] < by[("alltoall", "mpi")]
+    assert min(by.values()) == by[("alltoall", "ccl")]
+
+
+def _placement_ablation():
+    from repro.core.config import MLPERF
+    from repro.parallel.placement import (
+        balanced_placement,
+        placement_stats,
+        round_robin_placement,
+    )
+
+    rows = []
+    for r in (4, 8, 13):
+        rr_owners = round_robin_placement(MLPERF, r)
+        bal_owners = balanced_placement(MLPERF, r)
+        rr = model_iteration("mlperf", r, placement="round_robin", blocking=True)
+        bal = model_iteration("mlperf", r, placement="balanced", blocking=True)
+        rr_s = placement_stats(MLPERF, rr_owners, r)
+        bal_s = placement_stats(MLPERF, bal_owners, r)
+        rows.append(
+            {
+                "ranks": r,
+                "rr_mem_imbalance": rr_s.memory_imbalance,
+                "bal_mem_imbalance": bal_s.memory_imbalance,
+                "rr_ms": rr.iteration_time * 1e3,
+                "bal_ms": bal.iteration_time * 1e3,
+            }
+        )
+    return rows
+
+
+def test_ablation_table_placement(benchmark, emit):
+    """Round-robin (the paper) vs byte-balanced LPT placement: LPT evens
+    out memory but piles the tiny, contention-heavy Criteo tables onto
+    one rank, whose update time then bottlenecks the iteration -- the
+    paper's simple placement is the right call for speed."""
+    rows = benchmark.pedantic(_placement_ablation, rounds=1, iterations=1)
+    emit("ablation_placement", rows, title="Ablation: table placement (MLPerf)")
+    for r in rows:
+        assert r["bal_mem_imbalance"] <= r["rr_mem_imbalance"] + 1e-9
+        assert r["bal_ms"] >= r["rr_ms"] * 0.95

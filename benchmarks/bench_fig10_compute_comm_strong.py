@@ -1,0 +1,44 @@
+"""Fig. 10: compute/communication split, MPI vs CCL, overlap vs blocking."""
+
+import pytest
+
+from repro.bench import run_fig10_compute_comm
+
+
+@pytest.mark.parametrize("config", ["large", "mlperf"])
+def test_fig10_compute_comm(benchmark, emit, config):
+    rows = benchmark.pedantic(
+        run_fig10_compute_comm, args=(config,), rounds=1, iterations=1
+    )
+    emit(
+        f"fig10_compute_comm_{config}",
+        rows,
+        title=f"Fig. 10: compute/comm split, strong scaling ({config})",
+    )
+    by = {(r["mode"], r["backend"], r["ranks"]): r for r in rows}
+    ranks = sorted({r["ranks"] for r in rows})
+    top = ranks[-1]
+
+    # MPI's unpinned progress thread inflates overlapped compute; CCL's
+    # pinned workers do not (Sect. VI-D1).
+    assert (
+        by[("overlapping", "mpi", top)]["compute_ms"]
+        > by[("blocking", "mpi", top)]["compute_ms"] * 1.01
+    )
+    assert by[("overlapping", "ccl", top)]["compute_ms"] == pytest.approx(
+        by[("blocking", "ccl", top)]["compute_ms"], rel=0.02
+    )
+    # CCL exposes less communication than MPI in both modes.
+    for mode in ("overlapping", "blocking"):
+        assert (
+            by[(mode, "ccl", top)]["comm_ms"] < by[(mode, "mpi", top)]["comm_ms"]
+        )
+    # Overlap hides communication: exposed comm < blocking comm.
+    assert (
+        by[("overlapping", "ccl", top)]["comm_ms"]
+        < by[("blocking", "ccl", top)]["comm_ms"]
+    )
+    # Compute shrinks with rank count (it is strong scaling, after all).
+    for backend in ("mpi", "ccl"):
+        comp = [by[("blocking", backend, r)]["compute_ms"] for r in ranks]
+        assert all(a > b for a, b in zip(comp, comp[1:]))

@@ -1,0 +1,61 @@
+"""Fig. 11: communication breakdown (Framework/Wait per collective)."""
+
+import pytest
+
+from repro.bench import run_fig11_comm_breakdown
+
+
+@pytest.mark.parametrize("config", ["large", "mlperf"])
+def test_fig11_comm_breakdown(benchmark, emit, config):
+    rows = benchmark.pedantic(
+        run_fig11_comm_breakdown, args=(config,), rounds=1, iterations=1
+    )
+    emit(
+        f"fig11_comm_breakdown_{config}",
+        rows,
+        title=f"Fig. 11: communication breakdown, strong scaling ({config})",
+    )
+    by = {(r["mode"], r["backend"], r["ranks"]): r for r in rows}
+    ranks = sorted({r["ranks"] for r in rows})
+    top = ranks[-1]
+
+    # Framework (pre/post-processing) costs are comparable across
+    # backends (Sect. VI-D1).
+    for mode in ("overlapping", "blocking"):
+        mpi_fw = by[(mode, "mpi", top)]["alltoall_framework_ms"]
+        ccl_fw = by[(mode, "ccl", top)]["alltoall_framework_ms"]
+        assert mpi_fw == pytest.approx(ccl_fw, rel=0.25)
+
+    # The in-order MPI pathology: overlapping mode shows a huge alltoall
+    # wait (absorbing the allreduce) that vanishes when blocking.  The
+    # paper observed this "for large problem" -- the 1 GB gradient is
+    # what gets absorbed; MLPerf's 9 MB gradient barely registers.
+    mpi_over = by[("overlapping", "mpi", top)]
+    mpi_block = by[("blocking", "mpi", top)]
+    if config == "large":
+        assert mpi_over["alltoall_wait_ms"] > 2 * mpi_block["alltoall_wait_ms"]
+    else:
+        assert mpi_over["alltoall_wait_ms"] > 0.8 * mpi_block["alltoall_wait_ms"]
+
+    # Pure communication is cheaper with CCL even when blocking
+    # (multiple cores drive the fabric).
+    assert (
+        by[("blocking", "ccl", top)]["allreduce_wait_ms"]
+        < by[("blocking", "mpi", top)]["allreduce_wait_ms"]
+    )
+
+    if config == "large":
+        # Blocking large config is allreduce-dominated at every rank
+        # count (1 GB gradient vs 1 GB alltoall spread over all links).
+        for r in ranks:
+            b = by[("blocking", "ccl", r)]
+            assert b["allreduce_wait_ms"] > b["alltoall_wait_ms"]
+    if config == "mlperf":
+        # MLPerf starts alltoall-bound and crosses over to
+        # allreduce-bound at high rank counts (Sect. VI-D1).
+        lo = by[("blocking", "ccl", ranks[1])]
+        hi = by[("blocking", "ccl", top)]
+        assert lo["alltoall_wait_ms"] > lo["allreduce_wait_ms"]
+        lo_ratio = lo["alltoall_wait_ms"] / max(lo["allreduce_wait_ms"], 1e-9)
+        hi_ratio = hi["alltoall_wait_ms"] / max(hi["allreduce_wait_ms"], 1e-9)
+        assert hi_ratio < lo_ratio

@@ -1,0 +1,37 @@
+"""Fig. 12: weak-scaling speed-up and efficiency."""
+
+from repro.bench import run_fig12_weak_scaling
+
+
+def test_fig12_weak_scaling(benchmark, emit):
+    rows = benchmark.pedantic(run_fig12_weak_scaling, rounds=1, iterations=1)
+    emit("fig12_weak_scaling", rows, title="Fig. 12: weak scaling (speedup & efficiency)")
+    ccl = {
+        (r["config"], r["ranks"]): r for r in rows if r["variant"] == "CCL Alltoall"
+    }
+    # Paper headlines: small 6.4x@8R (80%), large 13.5x@64R vs 4R (84%),
+    # MLPerf 17x@26R (65%).
+    assert 4.0 < ccl[("small", 8)]["speedup"] <= 8.0
+    assert ccl[("small", 8)]["efficiency"] > 0.55
+    large64 = ccl[("large", 64)]
+    assert large64["efficiency"] > 0.6  # paper: 84%
+    mlperf26 = ccl[("mlperf", 26)]
+    assert mlperf26["efficiency"] > 0.45  # paper: 65%
+
+    # Weak scaling efficiency beats strong scaling's at max ranks.
+    from repro.bench import run_fig9_strong_scaling
+
+    strong = {
+        (r["config"], r["ranks"]): r
+        for r in run_fig9_strong_scaling(("large",))
+        if r["variant"] == "CCL Alltoall"
+    }
+    assert large64["efficiency"] > strong[("large", 64)]["efficiency"]
+
+    # CCL Alltoall again dominates the other variants.
+    best = {}
+    for r in rows:
+        key = (r["config"], r["ranks"])
+        if key not in best or r["speedup"] > best[key][0]:
+            best[key] = (r["speedup"], r["variant"])
+    assert all(v == "CCL Alltoall" for _, v in best.values())

@@ -1,0 +1,39 @@
+"""Fig. 13: compute/comm split under weak scaling, incl. loader growth."""
+
+import pytest
+
+from repro.bench import run_fig13_compute_comm_weak
+
+
+@pytest.mark.parametrize("config", ["large", "mlperf"])
+def test_fig13_compute_comm_weak(benchmark, emit, config):
+    rows = benchmark.pedantic(
+        run_fig13_compute_comm_weak, args=(config,), rounds=1, iterations=1
+    )
+    emit(
+        f"fig13_compute_comm_weak_{config}",
+        rows,
+        title=f"Fig. 13: compute/comm split, weak scaling ({config})",
+    )
+    by = {(r["mode"], r["backend"], r["ranks"]): r for r in rows}
+    ranks = sorted({r["ranks"] for r in rows})
+
+    if config == "mlperf":
+        # Sect. VI-D2: compute grows with rank count because the data
+        # loader parses the full global minibatch on every rank.
+        comp = [by[("blocking", "ccl", r)]["compute_ms"] for r in ranks]
+        assert comp[-1] > comp[1] * 1.1
+        loaders = [by[("blocking", "ccl", r)]["loader_ms"] for r in ranks]
+        assert all(a <= b for a, b in zip(loaders, loaders[1:]))
+    else:
+        # Random dataset: no loader cost, compute stays ~flat per rank.
+        assert all(r_["loader_ms"] == 0.0 for r_ in rows)
+        comp = [by[("blocking", "ccl", r)]["compute_ms"] for r in ranks]
+        assert max(comp) / min(comp) < 1.2
+
+    # MPI overlap still inflates compute in weak scaling (Fig. 13).
+    top = ranks[-1]
+    assert (
+        by[("overlapping", "mpi", top)]["compute_ms"]
+        > by[("blocking", "mpi", top)]["compute_ms"]
+    )

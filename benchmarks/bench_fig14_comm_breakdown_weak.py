@@ -1,0 +1,39 @@
+"""Fig. 14: communication breakdown under weak scaling."""
+
+import pytest
+
+from repro.bench import run_fig14_comm_breakdown_weak
+
+
+@pytest.mark.parametrize("config", ["large", "mlperf"])
+def test_fig14_comm_breakdown_weak(benchmark, emit, config):
+    rows = benchmark.pedantic(
+        run_fig14_comm_breakdown_weak, args=(config,), rounds=1, iterations=1
+    )
+    emit(
+        f"fig14_comm_breakdown_weak_{config}",
+        rows,
+        title=f"Fig. 14: communication breakdown, weak scaling ({config})",
+    )
+    by = {(r["mode"], r["backend"], r["ranks"]): r for r in rows}
+    ranks = sorted({r["ranks"] for r in rows})
+    top = ranks[-1]
+
+    # Weak scaling: the alltoall volume grows with ranks, so its blocking
+    # wait grows once past the small-rank regime.
+    a2a = [by[("blocking", "ccl", r)]["alltoall_wait_ms"] for r in ranks if r > 1]
+    assert a2a[-1] >= a2a[0] * 0.8  # non-collapsing; grows for mlperf
+    if config == "mlperf":
+        # Sect. VI-D2: cost goes down at first (up to ~8 ranks), then
+        # rises again as the volume growth wins.
+        assert a2a[-1] > min(a2a)
+
+    # Allreduce wait is roughly rank-independent (same gradient volume).
+    ar = [by[("blocking", "ccl", r)]["allreduce_wait_ms"] for r in ranks if r > 2]
+    assert max(ar) < 3 * min(ar)
+
+    # In-order MPI pathology persists under weak scaling.
+    assert (
+        by[("overlapping", "mpi", top)]["alltoall_wait_ms"]
+        > by[("blocking", "mpi", top)]["alltoall_wait_ms"]
+    )

@@ -1,0 +1,31 @@
+"""Fig. 7: single-socket DLRM performance (the 110x / 8x headline)."""
+
+from repro.bench import run_fig7_single_socket
+from repro.bench.singlesocket import fig7_speedups
+from repro.bench.paper import V100_SMALL_MS
+
+
+def test_fig7_single_socket(benchmark, emit):
+    rows = benchmark(run_fig7_single_socket)
+    emit("fig7_single_socket", rows, title="Fig. 7: single-socket DLRM ms/iteration")
+    speedups = fig7_speedups(rows)
+    # Paper: 110x on small, 8x on MLPerf.
+    assert 80 < speedups["small"] < 150
+    assert 5 < speedups["mlperf"] < 15
+    by = {(r["config"], r["strategy"]): r["model_ms"] for r in rows}
+    # Contended MLPerf ordering: reference >> atomic > rtm > race-free.
+    assert by[("mlperf", "reference")] > by[("mlperf", "atomic")]
+    assert by[("mlperf", "atomic")] > by[("mlperf", "rtm")]
+    assert by[("mlperf", "rtm")] > by[("mlperf", "racefree")]
+    # Uncontended small config: optimised strategies within ~20%.
+    small = [by[("small", s)] for s in ("atomic", "rtm", "racefree")]
+    assert max(small) / min(small) < 1.25
+    # Sect. VI-C: the optimised single socket beats the 62 ms V100 number.
+    assert by[("small", "racefree")] < V100_SMALL_MS
+    # Every variant lands within a small factor of the paper's bar.
+    for r in rows:
+        ratio = r["model_ms"] / r["paper_ms"]
+        assert 0.4 < ratio < 2.5, (
+            f"{r['config']}/{r['strategy']}: model {r['model_ms']:.1f} ms vs "
+            f"paper {r['paper_ms']:.1f} ms"
+        )

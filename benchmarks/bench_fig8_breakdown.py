@@ -1,0 +1,27 @@
+"""Fig. 8: time split across Embeddings / MLP / Rest."""
+
+from repro.bench import run_fig8_breakdown
+
+
+def test_fig8_breakdown(benchmark, emit):
+    rows = benchmark(run_fig8_breakdown)
+    emit("fig8_breakdown", rows, title="Fig. 8: single-socket time split (Embeddings/MLP/Rest)")
+    by = {(r["config"], r["strategy"]): r for r in rows}
+    # Reference: 99% of the small-config iteration in the embedding kernel.
+    assert by[("small", "reference")]["embeddings_pct"] > 95
+    # Optimised small config: embeddings drop to roughly a third,
+    # "matching it with MLP time" (Sect. VI-C).
+    opt = by[("small", "racefree")]
+    assert 20 < opt["embeddings_pct"] < 55
+    assert 0.5 < opt["embeddings_ms"] / opt["mlp_ms"] < 2.0
+    # Optimised MLPerf: embeddings well under the majority.
+    assert by[("mlperf", "racefree")]["embeddings_pct"] < 35
+    # Contention: atomic embeddings several times race-free on MLPerf.
+    assert (
+        by[("mlperf", "atomic")]["embeddings_ms"]
+        > 2.5 * by[("mlperf", "racefree")]["embeddings_ms"]
+    )
+    # Bars decompose exactly.
+    for r in rows:
+        total = r["embeddings_ms"] + r["mlp_ms"] + r["rest_ms"]
+        assert abs(total - r["total_ms"]) < 1e-6 * max(1.0, r["total_ms"])

@@ -1,0 +1,43 @@
+"""Fig. 9: strong-scaling speed-up and efficiency (4 variants)."""
+
+from repro.bench import run_fig9_strong_scaling
+from repro.bench.paper import FIG9_HEADLINES
+
+
+def test_fig9_strong_scaling(benchmark, emit):
+    rows = benchmark.pedantic(run_fig9_strong_scaling, rounds=1, iterations=1)
+    emit("fig9_strong_scaling", rows, title="Fig. 9: strong scaling (speedup & efficiency)")
+    ccl = {
+        (r["config"], r["ranks"]): r
+        for r in rows
+        if r["variant"] == "CCL Alltoall"
+    }
+    # Headline bands (paper Sect. VI-D1).
+    small = ccl[("small", 8)]
+    assert 3.0 < small["speedup"] < 8.0  # paper ~5-6x at 8R
+    large = ccl[("large", 32)]
+    assert 4.0 < large["speedup"] < 7.0  # 8x sockets -> 5-6x
+    mlperf = ccl[("mlperf", 26)]
+    assert 4.0 < mlperf["speedup"] < 14.0  # paper 8.5x
+    assert mlperf["efficiency"] < 0.55  # paper 33%
+
+    # CCL-Alltoall dominates every other variant at every point.
+    best = {}
+    for r in rows:
+        key = (r["config"], r["ranks"])
+        if key not in best or r["speedup"] > best[key][0]:
+            best[key] = (r["speedup"], r["variant"])
+    for key, (_, variant) in best.items():
+        assert variant == "CCL Alltoall", (key, variant)
+
+    # Native alltoall clearly beats the scatter-based exchanges at scale.
+    by = {(r["config"], r["variant"], r["ranks"]): r["speedup"] for r in rows}
+    assert by[("large", "Alltoall", 64)] > 1.2 * by[("large", "ScatterList", 64)]
+
+    # Efficiency decays with rank count (the exposed-allreduce story).
+    for cfg, ranks in (("large", [8, 16, 32, 64]), ("small", [2, 4, 8])):
+        effs = [by_eff for r in ranks for by_eff in [
+            next(x["efficiency"] for x in rows
+                 if x["config"] == cfg and x["variant"] == "CCL Alltoall" and x["ranks"] == r)
+        ]]
+        assert all(a >= b for a, b in zip(effs, effs[1:]))

@@ -1,0 +1,15 @@
+"""Table I: the three DLRM model specifications."""
+
+from repro.bench import run_table1
+
+
+def test_table1_configs(benchmark, emit):
+    rows = benchmark(run_table1)
+    emit("table1_configs", rows, title="Table I: DLRM model specifications")
+    by = {r["config"]: r for r in rows}
+    assert by["small"]["num_tables"] == 8
+    assert by["large"]["num_tables"] == 64
+    assert by["mlperf"]["num_tables"] == 26
+    assert by["small"]["lookups_per_table"] == 50
+    assert by["mlperf"]["lookups_per_table"] == 1
+    assert by["large"]["embedding_dim"] == 256

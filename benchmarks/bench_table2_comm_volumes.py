@@ -1,0 +1,15 @@
+"""Table II: distributed-run characteristics from Eqs. 1 and 2."""
+
+import pytest
+
+from repro.bench import run_table2
+
+
+def test_table2_comm_volumes(benchmark, emit):
+    rows = benchmark(run_table2)
+    emit("table2_comm_volumes", rows, title="Table II: model vs paper")
+    for r in rows:
+        # Eq. 1 / Eq. 2 volumes within 6% of the paper's printed MBs.
+        assert r["allreduce_mb"] == pytest.approx(r["paper_allreduce_mb"], rel=0.06)
+        assert r["alltoall_strong_mb"] == pytest.approx(r["paper_alltoall_mb"], rel=0.06)
+        assert r["min_sockets"] == r["paper_min_sockets"]

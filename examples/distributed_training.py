@@ -1,0 +1,59 @@
+"""Hybrid-parallel DLRM on a simulated 8-socket node (paper Sect. IV).
+
+Trains the same global minibatches on (a) a single process and (b) a
+4-rank hybrid-parallel cluster -- model-parallel embeddings, data-parallel
+MLPs, alltoall at the interaction -- and verifies that the two runs agree,
+then prints the per-rank time profile the virtual cluster collected.
+
+Usage:  python examples/distributed_training.py
+"""
+
+import numpy as np
+
+from repro.core.config import SMALL
+from repro.core.model import DLRM
+from repro.core.optim import SGD
+from repro.data.synthetic import RandomRecDataset
+from repro.parallel.cluster import SimCluster
+from repro.parallel.hybrid import DistributedDLRM
+from repro.perf.report import format_seconds
+
+RANKS = 4
+STEPS = 5
+
+
+def main() -> None:
+    cfg = SMALL.scaled_down(rows_cap=2000, minibatch=64)
+    data = RandomRecDataset(cfg, seed=3)
+    batches = [data.batch(cfg.minibatch, i) for i in range(STEPS)]
+
+    # Single-process reference.
+    ref = DLRM(cfg, seed=11)
+    ref_opt = SGD(lr=0.05)
+    ref_losses = [ref.train_step(b, ref_opt, normalizer=b.size) for b in batches]
+
+    # Hybrid-parallel run on the simulated 8-socket SKX node.
+    cluster = SimCluster(RANKS, platform="node", backend="ccl")
+    dist = DistributedDLRM(cfg, cluster, seed=11, exchange="alltoall")
+    dist.attach_optimizers(lambda: SGD(lr=0.05))
+    dist_losses = [dist.train_step(b) for b in batches]
+
+    print(f"{RANKS}-rank hybrid parallel vs single process "
+          f"({cfg.num_tables} tables round-robin over ranks):")
+    for i, (a, b) in enumerate(zip(ref_losses, dist_losses)):
+        print(f"  step {i}: single = {a:.6f}   distributed = {b:.6f}   "
+              f"|diff| = {abs(a - b):.2e}")
+    assert np.allclose(ref_losses, dist_losses, rtol=1e-5)
+    print("  -> losses agree (the Sect. IV parallelisation is exact)\n")
+
+    print("per-rank virtual-time profile (rank 0):")
+    prof = cluster.profilers[0]
+    for cat in prof.categories():
+        print(f"  {cat:32s} {format_seconds(prof.get(cat))}")
+    print(f"\nvirtual wall-clock on rank 0: {format_seconds(cluster.clocks[0].now)}")
+    print(f"compute bucket: {format_seconds(prof.compute_time())}   "
+          f"exposed communication: {format_seconds(prof.comm_time())}")
+
+
+if __name__ == "__main__":
+    main()

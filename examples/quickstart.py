@@ -1,0 +1,49 @@
+"""Quickstart: build a DLRM, train it, and inspect the cost model.
+
+Runs a scaled-down version of the paper's *small* configuration (Table I)
+end to end on the random dataset, then asks the analytic cost model what
+the same iteration would cost at full scale on the paper's Skylake
+socket -- reproducing the Fig. 7 headline (reference vs. optimised).
+
+Usage:  python examples/quickstart.py
+"""
+
+from repro.core.config import SMALL
+from repro.core.model import DLRM
+from repro.core.optim import SGD
+from repro.core.update import make_strategy
+from repro.data.synthetic import RandomRecDataset
+from repro.parallel.timing import single_socket_iteration
+from repro.perf.report import format_seconds
+
+
+def main() -> None:
+    # --- functional training at laptop scale -----------------------------
+    cfg = SMALL.scaled_down(rows_cap=5000, minibatch=128)
+    print(f"config: {cfg.name}  (S={cfg.num_tables} tables, E={cfg.embedding_dim}, "
+          f"N={cfg.minibatch})")
+    model = DLRM(cfg, seed=0)
+    opt = SGD(lr=0.05, strategy=make_strategy("racefree"))
+    data = RandomRecDataset(cfg, seed=1)
+
+    print("\ntraining 20 iterations on the random dataset:")
+    for step, batch in enumerate(data.batches(cfg.minibatch, count=20)):
+        loss = model.train_step(batch, opt)
+        if step % 5 == 0 or step == 19:
+            print(f"  step {step:3d}  loss = {loss:.4f}")
+
+    probs = model.predict_proba(data.batch(cfg.minibatch, 999))
+    print(f"\npredictions on a held-out batch: mean CTR = {probs.mean():.3f}")
+
+    # --- the paper-scale cost model ----------------------------------------
+    print("\nmodelled single-socket iteration at paper scale (Fig. 7):")
+    ref = single_socket_iteration("small", update="reference", gemm_impl="pytorch_mkl")
+    opt_t = single_socket_iteration("small", update="racefree")
+    print(f"  PyTorch v1.4 reference : {format_seconds(ref.iteration_time)}")
+    print(f"  this work (race-free)  : {format_seconds(opt_t.iteration_time)}")
+    print(f"  speed-up               : {ref.iteration_time / opt_t.iteration_time:.0f}x "
+          f"(paper: 110x)")
+
+
+if __name__ == "__main__":
+    main()

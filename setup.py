@@ -1,0 +1,6 @@
+"""Legacy installer shim (the build environment has no `wheel` package,
+so PEP 517 editable installs are unavailable)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro: reproduction of "Optimizing Deep Learning Recommender Systems'
+Training On CPU Cluster Architectures" (Kalamkar et al., SC 2020).
+
+Packages
+--------
+core      The paper's contribution: optimized DLRM training operators,
+          update strategies, Split-SGD-BF16, configs (Table I/II).
+kernels   Blocked tensor layouts + batch-reduce GEMM (Alg. 5 substrate).
+hw        Analytic hardware model of the two testbeds (specs, topologies,
+          cost model, calibration).
+comm      Functional collectives, backend progress models (MPI vs CCL),
+          exchange strategies, DDP gradient reducer.
+parallel  The simulated SPMD cluster, the hybrid-parallel DLRM, its
+          analytic paper-scale twin, and the MLP overlap engine.
+data      Random + synthetic-Criteo datasets, loaders.
+perf      Virtual clocks, profilers, report tables.
+bench     Experiment drivers regenerating every paper table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.config import CONFIGS, LARGE, MLPERF, SMALL, DLRMConfig, get_config
+from repro.core.model import DLRM
+from repro.core.optim import SGD, MasterWeightSGD, SplitSGD
+from repro.parallel.cluster import SimCluster
+from repro.parallel.hybrid import DistributedDLRM
+from repro.parallel.timing import model_iteration, single_socket_iteration
+
+__all__ = [
+    "__version__",
+    "CONFIGS",
+    "LARGE",
+    "MLPERF",
+    "SMALL",
+    "DLRMConfig",
+    "get_config",
+    "DLRM",
+    "SGD",
+    "MasterWeightSGD",
+    "SplitSGD",
+    "SimCluster",
+    "DistributedDLRM",
+    "model_iteration",
+    "single_socket_iteration",
+]

@@ -1,0 +1,92 @@
+"""Values the paper prints, used as side-by-side references in benches.
+
+Sources are given per constant; everything here is *reported*, never
+computed -- the drivers put these next to the model's outputs.
+"""
+
+# --- Fig. 7: single-socket DLRM time per iteration (ms) --------------------
+FIG7_MS = {
+    ("small", "reference"): 4288.0,
+    ("small", "atomic"): 40.4,
+    ("small", "rtm"): 38.3,
+    ("small", "racefree"): 38.9,
+    ("mlperf", "reference"): 272.0,
+    ("mlperf", "atomic"): 106.3,
+    ("mlperf", "rtm"): 96.8,
+    ("mlperf", "racefree"): 34.8,
+}
+
+# --- Fig. 8: embedding time within the iteration (ms, bar labels) -----------
+FIG8_EMBEDDING_MS = {
+    ("small", "reference"): 4257.0,
+    ("small", "atomic"): 14.4,
+    ("small", "rtm"): 12.7,
+    ("small", "racefree"): 13.3,
+    ("mlperf", "reference"): 190.0,
+    ("mlperf", "atomic"): 75.7,
+    ("mlperf", "rtm"): 68.2,
+    ("mlperf", "racefree"): 5.9,
+}
+
+# --- Fig. 5: average GEMM efficiency (fraction of peak, Sect. VI-A) ---------
+FIG5_AVG_EFFICIENCY = {
+    "this_work": 0.72,
+    "fb_mlp": 0.75,
+    "pytorch_mkl": 0.61,
+}
+
+# --- Fig. 6 / Sect. VI-B: standalone MLP overlap (ms) -----------------------
+FIG6_MS = {
+    "bwd_d_gemm": 5.40,
+    "bwd_w_gemm": 5.39,
+    "bwd_comm": 2.84,
+    "upd_comm": 1.86,
+}
+
+# --- Table II ---------------------------------------------------------------
+TABLE2 = {
+    "small": {"capacity_gb": 2, "min_sockets": 1, "max_ranks": 8,
+              "allreduce_mb": 9.5, "alltoall_mb": 15.8},
+    "large": {"capacity_gb": 384, "min_sockets": 4, "max_ranks": 64,
+              "allreduce_mb": 1047.0, "alltoall_mb": 1024.0},
+    "mlperf": {"capacity_gb": 98, "min_sockets": 1, "max_ranks": 26,
+               "allreduce_mb": 9.0, "alltoall_mb": 208.0},
+}
+
+# --- Fig. 9 / Sect. VI-D1: strong-scaling headline numbers ------------------
+#: Max speedup and efficiency at max ranks (CCL-Alltoall variant).
+FIG9_HEADLINES = {
+    # config: (ranks, speedup, efficiency, baseline_ranks)
+    "small": (8, 5.5, 0.69, 1),      # "5x-6x ... ~60%-71% efficiency"
+    "large": (32, 5.5, 0.69, 4),     # 8x sockets -> 5x-6x
+    "mlperf": (26, 8.5, 0.33, 1),    # "8.5x ... 33% efficiency"
+}
+
+# --- Fig. 12 / Sect. VI-D2: weak-scaling headline numbers -------------------
+FIG12_HEADLINES = {
+    "small": (8, 6.4, 0.80, 1),
+    "large": (64, 13.5, 0.84, 4),
+    "mlperf": (26, 17.0, 0.65, 1),
+}
+
+# --- Sect. VI-C: GPU comparison ----------------------------------------------
+V100_SMALL_MS = 62.0
+V100_OPTIMIZED_PROJECTION_MS = (10.0, 15.0)
+
+# --- Fig. 16: ROC AUC at epoch fractions (FP32 reference curve) -------------
+FIG16_FRACTIONS = [0.05 * k for k in range(1, 21)]
+FIG16_FP32_AUC = [
+    0.7874, 0.7925, 0.7945, 0.7951, 0.7962, 0.7983, 0.7994, 0.7995,
+    0.8002, 0.8001, 0.8001, 0.8010, 0.8015, 0.8016, 0.8012, 0.8011,
+    0.8013, 0.8025, 0.8026, 0.8027,
+]
+FIG16_BF16_AUC = [
+    0.7874, 0.7927, 0.7946, 0.7951, 0.7964, 0.7984, 0.7995, 0.7997,
+    0.8004, 0.8003, 0.8003, 0.8011, 0.8016, 0.8017, 0.8014, 0.8010,
+    0.8013, 0.8026, 0.8026, 0.8027,
+]
+FIG16_FP24_AUC = [
+    0.7831, 0.7869, 0.7882, 0.7892, 0.7895, 0.7914, 0.7932, 0.7926,
+    0.7923, 0.7917, 0.7935, 0.7936, 0.7942, 0.7942, 0.7932, 0.7934,
+    0.7934, 0.7954, 0.7943, 0.7947,
+]

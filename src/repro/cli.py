@@ -1,0 +1,168 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli table2
+    python -m repro.cli fig7
+    python -m repro.cli fig9 --config large
+    python -m repro.cli fig16 --epoch-batches 40 --eval-points 10
+    python -m repro.cli iteration --config mlperf --ranks 16 --backend ccl
+
+Each experiment prints the same paper-vs-model table the benchmark
+harness writes to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.bench import (
+    run_fig5_mlp_kernels,
+    run_fig6_overlap,
+    run_fig7_single_socket,
+    run_fig8_breakdown,
+    run_fig9_strong_scaling,
+    run_fig10_compute_comm,
+    run_fig11_comm_breakdown,
+    run_fig12_weak_scaling,
+    run_fig13_compute_comm_weak,
+    run_fig14_comm_breakdown_weak,
+    run_fig15_8socket,
+    run_fig16_convergence,
+    run_table1,
+    run_table2,
+)
+from repro.parallel.timing import model_iteration
+from repro.perf.report import format_table
+
+#: Experiments addressable by name; (description, needs-config-arg).
+EXPERIMENTS: dict[str, str] = {
+    "table1": "Table I: DLRM model specifications",
+    "table2": "Table II: distributed-run characteristics (Eq. 1/2)",
+    "fig5": "Fig. 5: single-socket MLP kernel performance",
+    "fig6": "Fig. 6: MLP GEMM/SGD communication overlap",
+    "fig7": "Fig. 7: single-socket DLRM time per iteration",
+    "fig8": "Fig. 8: time split across Embeddings/MLP/Rest",
+    "fig9": "Fig. 9: strong-scaling speedup & efficiency",
+    "fig10": "Fig. 10: compute/comm split (strong scaling)",
+    "fig11": "Fig. 11: communication breakdown (strong scaling)",
+    "fig12": "Fig. 12: weak-scaling speedup & efficiency",
+    "fig13": "Fig. 13: compute/comm split (weak scaling)",
+    "fig14": "Fig. 14: communication breakdown (weak scaling)",
+    "fig15": "Fig. 15: 8-socket shared-memory node scaling",
+    "fig16": "Fig. 16: Split-SGD-BF16 convergence (functional training)",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate experiments from Kalamkar et al., SC 2020.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list all experiments")
+    for name, desc in EXPERIMENTS.items():
+        sp = sub.add_parser(name, help=desc)
+        if name in ("fig9", "fig12"):
+            sp.add_argument(
+                "--config", choices=["small", "large", "mlperf"], default=None,
+                help="restrict to one configuration",
+            )
+        if name in ("fig10", "fig11", "fig13", "fig14"):
+            sp.add_argument(
+                "--config", choices=["large", "mlperf"], default="large"
+            )
+        if name == "fig16":
+            sp.add_argument("--epoch-batches", type=int, default=60)
+            sp.add_argument("--eval-points", type=int, default=12)
+            sp.add_argument("--lr", type=float, default=0.15)
+    it = sub.add_parser(
+        "iteration", help="model one training iteration at paper scale"
+    )
+    it.add_argument("--config", choices=["small", "large", "mlperf"], required=True)
+    it.add_argument("--ranks", type=int, default=1)
+    it.add_argument("--backend", choices=["mpi", "ccl", "local"], default="ccl")
+    it.add_argument("--exchange", choices=["scatterlist", "fused", "alltoall"], default="alltoall")
+    it.add_argument("--update", choices=["reference", "atomic", "rtm", "racefree", "fused"], default="racefree")
+    it.add_argument("--platform", choices=["node", "cluster"], default="cluster")
+    it.add_argument("--blocking", action="store_true")
+    return p
+
+
+def _dispatch(args: argparse.Namespace) -> str:
+    name = args.command
+    if name == "list":
+        rows = [{"experiment": k, "description": v} for k, v in EXPERIMENTS.items()]
+        return format_table(rows, title="Available experiments")
+    if name == "table1":
+        return format_table(run_table1(), title=EXPERIMENTS[name])
+    if name == "table2":
+        return format_table(run_table2(), title=EXPERIMENTS[name])
+    if name == "fig5":
+        return format_table(run_fig5_mlp_kernels(), title=EXPERIMENTS[name])
+    if name == "fig6":
+        _, rows = run_fig6_overlap()
+        return format_table(rows, title=EXPERIMENTS[name])
+    if name == "fig7":
+        return format_table(run_fig7_single_socket(), title=EXPERIMENTS[name])
+    if name == "fig8":
+        return format_table(run_fig8_breakdown(), title=EXPERIMENTS[name])
+    if name in ("fig9", "fig12"):
+        configs = (args.config,) if args.config else ("small", "large", "mlperf")
+        fn: Callable = run_fig9_strong_scaling if name == "fig9" else run_fig12_weak_scaling
+        return format_table(fn(configs), title=EXPERIMENTS[name])
+    if name == "fig10":
+        return format_table(run_fig10_compute_comm(args.config), title=EXPERIMENTS[name])
+    if name == "fig11":
+        return format_table(run_fig11_comm_breakdown(args.config), title=EXPERIMENTS[name])
+    if name == "fig13":
+        return format_table(run_fig13_compute_comm_weak(args.config), title=EXPERIMENTS[name])
+    if name == "fig14":
+        return format_table(run_fig14_comm_breakdown_weak(args.config), title=EXPERIMENTS[name])
+    if name == "fig15":
+        return format_table(run_fig15_8socket(), title=EXPERIMENTS[name])
+    if name == "fig16":
+        curves = run_fig16_convergence(
+            epoch_batches=args.epoch_batches,
+            eval_points=args.eval_points,
+            lr=args.lr,
+        )
+        return format_table(curves.rows(), title=EXPERIMENTS[name])
+    if name == "iteration":
+        res = model_iteration(
+            args.config,
+            args.ranks,
+            platform=args.platform,
+            backend=args.backend,
+            blocking=args.blocking,
+            exchange=args.exchange,
+            update=args.update,
+        )
+        bd = res.comm_breakdown()
+        rows = [
+            {
+                "config": res.config,
+                "ranks": res.n_ranks,
+                "backend": res.backend,
+                "exchange": res.exchange,
+                "total_ms": res.iteration_time * 1e3,
+                "compute_ms": res.compute_time * 1e3,
+                "alltoall_wait_ms": bd["Alltoall-Wait"] * 1e3,
+                "allreduce_wait_ms": bd["Allreduce-Wait"] * 1e3,
+            }
+        ]
+        return format_table(rows, title="Modelled iteration")
+    raise ValueError(f"unknown command {name!r}")  # pragma: no cover
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    print(_dispatch(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Communication substrate: functional collectives, backend progress
+models, exchange strategies and a DDP-style gradient reducer.
+
+This package replaces ``torch.distributed`` + MPI/oneCCL.  Collectives
+perform real data movement over per-rank NumPy buffers (exactness is
+property-tested); their *cost* is charged by the simulated cluster
+(:mod:`repro.parallel.cluster`) according to the backend's progress model
+-- the single unpinned progress thread of the PyTorch MPI backend vs.
+oneCCL's pinned multi-worker engine (paper Sect. IV-C).
+"""
+
+from repro.comm.collectives import (
+    allreduce_sum,
+    reduce_scatter_sum,
+    allgather_concat,
+    alltoall_exchange,
+    scatter_chunks,
+    gather_chunks,
+)
+from repro.comm.backend import (
+    BackendSpec,
+    mpi_backend,
+    ccl_backend,
+    local_backend,
+    make_backend,
+)
+from repro.comm.strategies import (
+    ExchangeStrategy,
+    ScatterListStrategy,
+    FusedScatterStrategy,
+    AlltoallStrategy,
+    make_exchange,
+    EXCHANGE_STRATEGIES,
+)
+from repro.comm.ddp import DistributedDataParallelReducer
+from repro.comm.ring import RingTrace, ring_allgather, ring_allreduce, ring_reduce_scatter
+
+__all__ = [
+    "allreduce_sum",
+    "reduce_scatter_sum",
+    "allgather_concat",
+    "alltoall_exchange",
+    "scatter_chunks",
+    "gather_chunks",
+    "BackendSpec",
+    "mpi_backend",
+    "ccl_backend",
+    "local_backend",
+    "make_backend",
+    "ExchangeStrategy",
+    "ScatterListStrategy",
+    "FusedScatterStrategy",
+    "AlltoallStrategy",
+    "make_exchange",
+    "EXCHANGE_STRATEGIES",
+    "DistributedDataParallelReducer",
+    "RingTrace",
+    "ring_allgather",
+    "ring_allreduce",
+    "ring_reduce_scatter",
+]

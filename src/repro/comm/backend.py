@@ -1,0 +1,93 @@
+"""Communication-backend progress models (paper Sect. IV-C).
+
+Two backends are modelled, matching the paper's measurements:
+
+* ``mpi`` -- the PyTorch MPI backend.  One *unpinned* helper thread
+  drives all communication: it cannot saturate the fabric
+  (``bw_factor < 1``), it completes requests **in order** (Sect. VI-D:
+  "the in-order completion nature of MPI-backend that shows up as cost
+  of allreduce at alltoall wait"), and it preempts compute threads while
+  requests are in flight ("almost all compute kernels were slowed down
+  due to communication overlap").
+* ``ccl`` -- oneCCL.  Several worker threads *bound to dedicated cores*
+  drive communication: near-full bandwidth, out-of-order completion, no
+  compute interference -- but the dedicated cores are unavailable to
+  compute (the paper's 24+4 core split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """Everything the simulated cluster needs to time a backend."""
+
+    name: str
+    #: Fraction of link bandwidth the backend's progress engine drives.
+    bw_factor: float
+    #: Multiplier on compute time while requests are in flight.
+    compute_interference: float
+    #: Whether requests complete strictly in issue order.
+    in_order: bool
+    #: Cores removed from the compute pool (pinned comm workers).
+    dedicated_cores: int
+    #: Per-collective software overhead (enqueue/matching), seconds.
+    call_overhead_s: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.bw_factor <= 1:
+            raise ValueError("bw_factor must be in (0, 1]")
+        if self.compute_interference < 1:
+            raise ValueError("compute_interference must be >= 1")
+        if self.dedicated_cores < 0:
+            raise ValueError("dedicated_cores must be >= 0")
+
+
+def mpi_backend(calib: Calibration = DEFAULT_CALIBRATION) -> BackendSpec:
+    """PyTorch's MPI backend: one unpinned progress thread."""
+    return BackendSpec(
+        name="mpi",
+        bw_factor=calib.mpi_bw_factor,
+        compute_interference=calib.mpi_compute_interference,
+        in_order=calib.mpi_in_order,
+        dedicated_cores=0,
+        call_overhead_s=calib.backend_call_overhead_us * 1e-6,
+    )
+
+
+def ccl_backend(calib: Calibration = DEFAULT_CALIBRATION) -> BackendSpec:
+    """oneCCL: pinned multi-worker progress engine."""
+    return BackendSpec(
+        name="ccl",
+        bw_factor=calib.ccl_bw_factor,
+        compute_interference=calib.ccl_compute_interference,
+        in_order=False,
+        dedicated_cores=calib.ccl_workers,
+        call_overhead_s=calib.backend_call_overhead_us * 1e-6,
+    )
+
+
+def local_backend(calib: Calibration = DEFAULT_CALIBRATION) -> BackendSpec:
+    """Single-process runs: no communication engine, all cores compute."""
+    return BackendSpec(
+        name="local",
+        bw_factor=1.0,
+        compute_interference=1.0,
+        in_order=False,
+        dedicated_cores=0,
+        call_overhead_s=0.0,
+    )
+
+
+def make_backend(name: str, calib: Calibration = DEFAULT_CALIBRATION) -> BackendSpec:
+    if name == "mpi":
+        return mpi_backend(calib)
+    if name == "ccl":
+        return ccl_backend(calib)
+    if name == "local":
+        return local_backend(calib)
+    raise ValueError(f"unknown backend {name!r}; have ['ccl', 'local', 'mpi']")

@@ -1,0 +1,92 @@
+"""Functional collectives over per-rank NumPy buffers.
+
+These are the data-movement semantics of the collectives the paper uses
+(allreduce realised as reduce-scatter + allgather, personalised alltoall,
+per-table scatters).  They follow the mpi4py buffer-object conventions:
+the caller hands one buffer (or buffer list) per rank, and receives new
+arrays; nothing here knows about time -- the simulated cluster charges
+cost separately.
+
+All functions are exact (FP32 sums in a fixed rank order) so that the
+distributed == single-socket equivalence tests can demand bitwise
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_same_shapes(bufs: list[np.ndarray]) -> None:
+    if not bufs:
+        raise ValueError("need at least one rank buffer")
+    shape = bufs[0].shape
+    for i, b in enumerate(bufs):
+        if b.shape != shape:
+            raise ValueError(f"rank {i} buffer shape {b.shape} != rank 0 {shape}")
+
+
+def allreduce_sum(bufs: list[np.ndarray]) -> list[np.ndarray]:
+    """Every rank receives the element-wise sum of all rank buffers."""
+    _check_same_shapes(bufs)
+    total = bufs[0].copy()
+    for b in bufs[1:]:
+        total = total + b
+    return [total.copy() for _ in bufs]
+
+
+def reduce_scatter_sum(bufs: list[np.ndarray]) -> list[np.ndarray]:
+    """Rank r receives the r-th chunk of the element-wise sum.
+
+    Chunks follow ``np.array_split`` over the first axis (uneven sizes
+    allowed, like MPI_Reduce_scatter with counts).
+    """
+    _check_same_shapes(bufs)
+    total = bufs[0].copy()
+    for b in bufs[1:]:
+        total = total + b
+    return [c.copy() for c in np.array_split(total, len(bufs), axis=0)]
+
+
+def allgather_concat(chunks: list[np.ndarray]) -> list[np.ndarray]:
+    """Every rank receives the concatenation of all rank chunks."""
+    if not chunks:
+        raise ValueError("need at least one rank chunk")
+    full = np.concatenate(chunks, axis=0)
+    return [full.copy() for _ in chunks]
+
+
+def alltoall_exchange(send: list[list[np.ndarray]]) -> list[list[np.ndarray]]:
+    """Personalised all-to-all: ``recv[j][i] = send[i][j]``.
+
+    ``send[i]`` is rank i's list of R messages (one per destination).
+    """
+    r = len(send)
+    for i, msgs in enumerate(send):
+        if len(msgs) != r:
+            raise ValueError(f"rank {i} must send exactly {r} messages, got {len(msgs)}")
+    return [[send[i][j].copy() for i in range(r)] for j in range(r)]
+
+
+def scatter_chunks(chunks: list[np.ndarray], root: int) -> list[np.ndarray]:
+    """Root-scatter: rank r receives ``chunks[r]`` (held by ``root``)."""
+    if not 0 <= root < len(chunks):
+        raise ValueError(f"root {root} out of range for {len(chunks)} ranks")
+    return [c.copy() for c in chunks]
+
+
+def gather_chunks(chunks: list[np.ndarray], root: int) -> list[np.ndarray]:
+    """Root-gather: the root receives every rank's chunk (list in rank
+    order); non-roots receive nothing (the return value is the root's)."""
+    if not 0 <= root < len(chunks):
+        raise ValueError(f"root {root} out of range for {len(chunks)} ranks")
+    return [c.copy() for c in chunks]
+
+
+def allreduce_via_rs_ag(bufs: list[np.ndarray]) -> list[np.ndarray]:
+    """Allreduce composed exactly as the paper overlaps it: a
+    reduce-scatter followed by an allgather (Fig. 2).  Semantically equal
+    to :func:`allreduce_sum`; kept separate so tests can pin the
+    composition."""
+    scattered = reduce_scatter_sum(bufs)
+    return allgather_concat(scattered)

@@ -1,0 +1,91 @@
+"""DDP-style gradient reducer for the data-parallel MLPs.
+
+Mirrors what the paper does to PyTorch's DistributedDataParallel
+(Sect. IV-B/C): wrap the bottom and top MLPs, allreduce their weight
+gradients during the backward pass, and optionally force *blocking*
+allreduce with profiling hooks -- the instrumentation mode behind
+Figs. 10-14.
+
+Framework costs (flattening the gradient list into one buffer, and the
+unflatten + averaging on the way out) are charged to
+``comm.allreduce.framework``; the transfer itself is charged to
+``comm.allreduce.wait`` at whichever point the caller waits -- hidden if
+the wait lands after enough compute, exposed otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.parallel.cluster import CollectiveHandle, SimCluster
+
+
+class DistributedDataParallelReducer:
+    """Sums gradient lists across ranks, in place."""
+
+    def __init__(self, cluster: "SimCluster"):
+        self.cluster = cluster
+
+    def issue_timed(
+        self, nbytes: float, op: str = "allreduce", blocking: bool | None = None
+    ) -> "CollectiveHandle":
+        """Timing-only allreduce of an ``nbytes`` gradient buffer per rank
+        (framework pack+unpack charges plus the transfer issue).  The
+        analytic iteration model uses this at paper scale."""
+        cluster = self.cluster
+        for r in cluster.ranks:
+            # Pack and unpack are two separate copies (matching the
+            # functional path's charges call for call).
+            for _ in range(2):
+                t = cluster.cost.copy_time(2.0 * nbytes, cores=cluster.compute_cores)
+                cluster.clocks[r].advance(t)
+                cluster.profilers[r].add(f"comm.{op}.framework", t)
+        cost = cluster.net.allreduce(cluster.participants(), nbytes)
+        return cluster.issue(op, cost, blocking)
+
+    def allreduce_grads(
+        self,
+        grads_per_rank: list[list[np.ndarray]],
+        op: str = "allreduce",
+        blocking: bool | None = None,
+    ) -> "CollectiveHandle":
+        """Sum each rank's gradient list element-wise across ranks.
+
+        The arrays are updated *in place* so layer parameters keep their
+        views; timing-wise the result is only legal to consume after
+        ``handle.wait(rank)``.
+        """
+        cluster = self.cluster
+        if len(grads_per_rank) != cluster.n_ranks:
+            raise ValueError(
+                f"expected {cluster.n_ranks} gradient lists, got {len(grads_per_rank)}"
+            )
+        lengths = {len(g) for g in grads_per_rank}
+        if len(lengths) != 1:
+            raise ValueError("all ranks must reduce the same number of tensors")
+        # Pack: flatten the per-rank list into one buffer (framework cost).
+        flats = []
+        for r, grads in enumerate(grads_per_rank):
+            flat = np.concatenate([np.asarray(g, dtype=np.float32).ravel() for g in grads])
+            flats.append(flat)
+            t = cluster.cost.copy_time(2.0 * flat.nbytes, cores=cluster.compute_cores)
+            cluster.clocks[r].advance(t)
+            cluster.profilers[r].add(f"comm.{op}.framework", t)
+        # Transfer (reduce-scatter + allgather under the hood).
+        summed, handle = cluster.allreduce(flats, op=op, blocking=blocking)
+        # Unpack: scatter the summed flat buffer back into the original
+        # arrays (framework cost; physically happens at wait time, charged
+        # here in lockstep -- same category, same magnitude).
+        for r, grads in enumerate(grads_per_rank):
+            offset = 0
+            for g in grads:
+                n = g.size
+                g[...] = summed[r][offset : offset + n].reshape(g.shape)
+                offset += n
+            t = cluster.cost.copy_time(2.0 * flats[r].nbytes, cores=cluster.compute_cores)
+            cluster.clocks[r].advance(t)
+            cluster.profilers[r].add(f"comm.{op}.framework", t)
+        return handle

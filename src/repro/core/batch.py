@@ -1,0 +1,71 @@
+"""The minibatch container shared by datasets, the model and the runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Batch:
+    """One DLRM minibatch.
+
+    * ``dense``   -- (N, D) float32 continuous features,
+    * ``indices`` -- per-table flat look-up indices (S arrays),
+    * ``offsets`` -- per-table bag offsets, each of length N+1,
+    * ``labels``  -- (N,) float32 in {0, 1}.
+    """
+
+    dense: np.ndarray
+    indices: list[np.ndarray]
+    offsets: list[np.ndarray]
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.dense.shape[0]
+        if len(self.indices) != len(self.offsets):
+            raise ValueError("indices/offsets table count mismatch")
+        for t, off in enumerate(self.offsets):
+            if off.shape[0] != n + 1:
+                raise ValueError(
+                    f"table {t}: offsets must have N+1={n + 1} entries, got {off.shape[0]}"
+                )
+            if off[-1] != self.indices[t].shape[0]:
+                raise ValueError(f"table {t}: offsets do not span the index array")
+        if self.labels.shape[0] != n:
+            raise ValueError("labels length != minibatch size")
+
+    @property
+    def size(self) -> int:
+        return int(self.dense.shape[0])
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.indices)
+
+    def slice(self, lo: int, hi: int) -> "Batch":
+        """The sub-batch of samples [lo, hi) -- used to shard the dense
+        (data-parallel) half of the hybrid-parallel iteration."""
+        if not 0 <= lo <= hi <= self.size:
+            raise ValueError(f"invalid slice [{lo}, {hi}) of batch size {self.size}")
+        indices, offsets = [], []
+        for t in range(self.num_tables):
+            off = self.offsets[t]
+            start, end = off[lo], off[hi]
+            indices.append(self.indices[t][start:end])
+            offsets.append((off[lo : hi + 1] - start).copy())
+        return Batch(
+            dense=self.dense[lo:hi],
+            indices=indices,
+            offsets=offsets,
+            labels=self.labels[lo:hi],
+        )
+
+    def shard(self, num_shards: int) -> list["Batch"]:
+        """Equal shards over the minibatch (N must divide evenly)."""
+        n = self.size
+        if n % num_shards:
+            raise ValueError(f"batch size {n} not divisible into {num_shards} shards")
+        per = n // num_shards
+        return [self.slice(r * per, (r + 1) * per) for r in range(num_shards)]

@@ -1,0 +1,223 @@
+"""EmbeddingBag: multi-hot embedding look-up (paper Algorithms 1-3).
+
+The sparse half of DLRM.  A table ``W[M, E]`` is read with a flat index
+vector ``I[NS]`` segmented into ``N`` bags by ``O[N+1]`` offsets:
+
+* forward  (Alg. 1): ``Y[n] = sum_{s in bag n} W[I[s]]``
+* backward (Alg. 2): ``dW[s] = dY[n]`` for every s in bag n -- a *sparse*
+  gradient carried as (indices, values) pairs,
+* update   (Alg. 3): ``W[I[s]] += alpha * dW[s]`` -- the racy scatter that
+  Sect. III-A's four strategies implement (see :mod:`repro.core.update`).
+
+Two storage formats are supported: plain FP32, and the Split-BF16 format
+of Sect. VII where the model half (``hi``) is a valid BF16 tensor and the
+low half lives with the optimizer.  The forward/backward passes of a
+split table read only ``hi`` -- the 2x bandwidth saving the paper claims
+for 66% of the training passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bf16 import bf16_to_fp32, combine_fp32, split_fp32, truncate_lo_bits
+
+
+@dataclass
+class SparseGrad:
+    """Gradient of one EmbeddingBag: row ``indices[i]`` receives ``values[i]``.
+
+    Duplicate indices are legal and *must* accumulate -- that is exactly
+    the race the paper's update strategies are about.
+    """
+
+    indices: np.ndarray  # (NS,) int64
+    values: np.ndarray  # (NS, E) float32
+
+    def __post_init__(self) -> None:
+        self.indices = np.ascontiguousarray(self.indices, dtype=np.int64)
+        self.values = np.ascontiguousarray(self.values, dtype=np.float32)
+        if self.indices.ndim != 1 or self.values.ndim != 2:
+            raise ValueError("SparseGrad needs 1-D indices and 2-D values")
+        if self.indices.shape[0] != self.values.shape[0]:
+            raise ValueError(
+                f"indices/values length mismatch: {self.indices.shape[0]} "
+                f"vs {self.values.shape[0]}"
+            )
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.shape[0])
+
+    def aggregated(self) -> tuple[np.ndarray, np.ndarray]:
+        """(unique_indices, summed_values): duplicates folded together."""
+        uniq, inverse = np.unique(self.indices, return_inverse=True)
+        agg = np.zeros((uniq.shape[0], self.values.shape[1]), dtype=np.float32)
+        np.add.at(agg, inverse, self.values)
+        return uniq, agg
+
+    def scaled(self, factor: float) -> "SparseGrad":
+        return SparseGrad(self.indices, self.values * np.float32(factor))
+
+
+def segment_sum(rows: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Sum ``rows`` into segments delimited by ``offsets`` (N+1 entries).
+
+    Fast paths: equal-length bags reshape+sum; ragged bags fall back to an
+    unbuffered scatter-add (the NumPy analogue of Alg. 1's inner loop).
+    Empty bags yield zero rows.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if offsets.ndim != 1 or offsets.size < 1:
+        raise ValueError("offsets must be a 1-D array of N+1 entries")
+    n = offsets.size - 1
+    e = rows.shape[1]
+    lengths = np.diff(offsets)
+    if (lengths < 0).any():
+        raise ValueError("offsets must be non-decreasing")
+    if offsets[0] != 0 or offsets[-1] != rows.shape[0]:
+        raise ValueError("offsets must span exactly the rows array")
+    if n > 0 and lengths.min() == lengths.max() and lengths[0] > 0:
+        return rows.reshape(n, int(lengths[0]), e).sum(axis=1, dtype=np.float32)
+    out = np.zeros((n, e), dtype=np.float32)
+    bag_ids = np.repeat(np.arange(n), lengths)
+    np.add.at(out, bag_ids, rows)
+    return out
+
+
+class EmbeddingBag:
+    """One embedding table with sum pooling (FP32 storage)."""
+
+    storage = "fp32"
+
+    def __init__(
+        self,
+        rows: int,
+        dim: int,
+        rng: np.random.Generator | None = None,
+        weight: np.ndarray | None = None,
+    ):
+        if rows <= 0 or dim <= 0:
+            raise ValueError("rows and dim must be positive")
+        self.rows = int(rows)
+        self.dim = int(dim)
+        if weight is not None:
+            w = np.ascontiguousarray(weight, dtype=np.float32)
+            if w.shape != (rows, dim):
+                raise ValueError(f"weight must be ({rows}, {dim}), got {w.shape}")
+        else:
+            rng = rng or np.random.default_rng()
+            bound = np.sqrt(1.0 / rows)
+            w = rng.uniform(-bound, bound, size=(rows, dim)).astype(np.float32)
+        self._init_storage(w)
+
+    # -- storage layer (overridden by SplitEmbeddingBag) ----------------------
+
+    def _init_storage(self, w: np.ndarray) -> None:
+        self.weight = w
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """Read rows in compute precision (FP32 here; BF16 when split)."""
+        return self.weight[indices]
+
+    def dense_weight(self) -> np.ndarray:
+        """The full table as the compute pass sees it (tests/inspection)."""
+        return self.weight
+
+    def scatter_add_rows(self, indices: np.ndarray, deltas: np.ndarray) -> None:
+        """``W[indices] += deltas`` with duplicate indices accumulating.
+
+        This is the numerically-exact effect every update strategy of
+        Sect. III-A must produce (atomics, RTM and the race-free
+        partitioning only change *how* concurrently it happens).
+        """
+        np.add.at(self.weight, np.asarray(indices, dtype=np.int64), deltas)
+
+    def capacity_bytes(self) -> int:
+        """Model + optimizer-state bytes held for this table."""
+        return self.rows * self.dim * 4
+
+    # -- compute layer -----------------------------------------------------------
+
+    def _check_lookup(self, indices: np.ndarray, offsets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        indices = np.asarray(indices, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.rows):
+            raise IndexError("embedding indices out of range")
+        return indices, offsets
+
+    def forward(self, indices: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+        """Alg. 1: ``Y[N, E]`` with ``Y[n] = sum over bag n of W[I[s]]``."""
+        indices, offsets = self._check_lookup(indices, offsets)
+        return segment_sum(self.gather(indices), offsets)
+
+    def backward(
+        self, grad_out: np.ndarray, indices: np.ndarray, offsets: np.ndarray
+    ) -> SparseGrad:
+        """Alg. 2: each looked-up row receives its bag's output gradient."""
+        indices, offsets = self._check_lookup(indices, offsets)
+        lengths = np.diff(offsets)
+        values = np.repeat(
+            np.asarray(grad_out, dtype=np.float32), lengths, axis=0
+        )
+        return SparseGrad(indices, values)
+
+
+class SplitEmbeddingBag(EmbeddingBag):
+    """Split-BF16 storage (paper Sect. VII).
+
+    ``hi`` (the BF16 half) is the model tensor read by forward/backward;
+    ``lo`` is optimizer state.  ``lo_bits < 16`` emulates the FP24
+    experiment that keeps only 8 extra mantissa bits.
+    """
+
+    storage = "split_bf16"
+
+    def __init__(
+        self,
+        rows: int,
+        dim: int,
+        rng: np.random.Generator | None = None,
+        weight: np.ndarray | None = None,
+        lo_bits: int = 16,
+    ):
+        if not 0 <= lo_bits <= 16:
+            raise ValueError(f"lo_bits must be in [0, 16], got {lo_bits}")
+        self.lo_bits = lo_bits
+        super().__init__(rows, dim, rng=rng, weight=weight)
+
+    def _init_storage(self, w: np.ndarray) -> None:
+        hi, lo = split_fp32(w)
+        self.hi = hi
+        self.lo = truncate_lo_bits(lo, self.lo_bits)
+
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        # Forward/backward read only the BF16 half: 2x less bandwidth.
+        return bf16_to_fp32(self.hi[indices])
+
+    def dense_weight(self) -> np.ndarray:
+        return bf16_to_fp32(self.hi)
+
+    def master_weight(self) -> np.ndarray:
+        """The implicit FP32 master: hi||lo, reconstructed exactly."""
+        return combine_fp32(self.hi, self.lo)
+
+    def scatter_add_rows(self, indices: np.ndarray, deltas: np.ndarray) -> None:
+        # Aggregate duplicates first, then run the update at full FP32
+        # accuracy on the reconstructed rows (the Split-SGD trick).
+        indices = np.asarray(indices, dtype=np.int64)
+        uniq, inverse = np.unique(indices, return_inverse=True)
+        agg = np.zeros((uniq.shape[0], self.dim), dtype=np.float32)
+        np.add.at(agg, inverse, deltas)
+        rows = combine_fp32(self.hi[uniq], self.lo[uniq])
+        rows = rows + agg
+        hi, lo = split_fp32(rows)
+        self.hi[uniq] = hi
+        self.lo[uniq] = truncate_lo_bits(lo, self.lo_bits)
+
+    def capacity_bytes(self) -> int:
+        # 2 bytes model (hi) + 2 bytes optimizer state (lo): same total as
+        # FP32, with zero master-weight overhead.
+        return self.rows * self.dim * (2 + 2)

@@ -1,0 +1,53 @@
+"""Binary cross-entropy loss on logits (DLRM's training criterion).
+
+The paper notes the loss "does not result into any performance
+implications at all"; it matters here for numerics.  The implementation
+is the numerically-stable logits form, and the normaliser is explicit:
+distributed data-parallel ranks normalise their *local* sums by the
+*global* minibatch so that summed gradients (the allreduce) reproduce the
+single-socket gradient bit-for-bit -- see
+:class:`repro.parallel.hybrid.DistributedDLRM`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mlp import sigmoid
+
+
+class BCEWithLogitsLoss:
+    """Mean (or custom-normalised) binary cross-entropy over logits."""
+
+    def __init__(self) -> None:
+        self._logits: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+        self._normalizer: float = 1.0
+
+    def forward(
+        self,
+        logits: np.ndarray,
+        targets: np.ndarray,
+        normalizer: float | None = None,
+    ) -> float:
+        """Loss = sum_i bce(logit_i, y_i) / normalizer (default: N)."""
+        z = np.asarray(logits, dtype=np.float32).reshape(-1)
+        y = np.asarray(targets, dtype=np.float32).reshape(-1)
+        if z.shape != y.shape:
+            raise ValueError(f"logits/targets shape mismatch: {z.shape} vs {y.shape}")
+        norm = float(z.size) if normalizer is None else float(normalizer)
+        if norm <= 0:
+            raise ValueError("normalizer must be positive")
+        self._logits = z
+        self._targets = y
+        self._normalizer = norm
+        # Stable: max(z, 0) - z*y + log(1 + exp(-|z|)).
+        per_sample = np.maximum(z, 0.0) - z * y + np.log1p(np.exp(-np.abs(z)))
+        return float(per_sample.sum() / norm)
+
+    def backward(self) -> np.ndarray:
+        """d(loss)/d(logits), shaped (N, 1) to feed the Top MLP."""
+        if self._logits is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        dz = (sigmoid(self._logits) - self._targets) / np.float32(self._normalizer)
+        return dz.reshape(-1, 1).astype(np.float32)

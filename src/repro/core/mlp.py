@@ -1,0 +1,237 @@
+"""Multi-layer perceptron with reference and blocked execution engines.
+
+The dense half of DLRM (paper Sect. III-B).  Each fully connected layer
+computes ``Y[N, K] = X[N, C] @ W[K, C]^T + b`` in the forward pass and the
+two backward GEMMs
+
+* backward-by-data:    ``dX = dY @ W``
+* backward-by-weights: ``dW = dY^T @ X``, ``db = sum_n dY``
+
+The ``blocked`` engine runs all three passes through the 4-D blocked
+layouts and the batch-reduce GEMM of :mod:`repro.kernels` (paper Alg. 5);
+the ``reference`` engine uses plain matmuls (the PyTorch/MKL baseline).
+Both produce identical FP32 results up to accumulation order; tests pin
+them together within tight tolerances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bf16 import bf16_dot
+from repro.core.param import Parameter
+from repro.kernels.blocked import (
+    BlockedLayout,
+    block_activation,
+    block_weight,
+    choose_blocking,
+    unblock_activation,
+)
+from repro.kernels.gemm import FlopCounter, blocked_matmul
+
+#: GEMM execution engines: plain matmul (the MKL baseline), the blocked
+#: batch-reduce path (Alg. 5), and an emulated-``vdpbf16ps`` path that
+#: rounds both operands to BF16 and accumulates in FP32 (the paper's
+#: Cooper Lake outlook, Sect. VII: "this will help to also significantly
+#: speed-up the MLP portions").
+ENGINES = ("reference", "blocked", "bf16")
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(dy: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """ReLU backward using the *output* (y > 0 iff x > 0)."""
+    return dy * (y > 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x, dtype=np.float32)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def _blocked_gemm_nt(x: np.ndarray, w: np.ndarray, threads: int, counter: FlopCounter | None) -> np.ndarray:
+    """``x[N, C] @ w[K, C]^T`` through the blocked layouts of Alg. 5."""
+    n, c = x.shape
+    k = w.shape[0]
+    layout = choose_blocking(n, c, k)
+    x4 = block_activation(x, layout.bn, layout.bc)
+    w4 = block_weight(w, layout.bc, layout.bk)
+    y4 = blocked_matmul(x4, w4, layout, threads=threads, counter=counter)
+    kb, nb, bn, bk = y4.shape
+    # y4 is [Kb][Nb][bn][bk]; flatten back to [N, K].
+    return np.ascontiguousarray(y4.transpose(1, 2, 0, 3).reshape(nb * bn, kb * bk))
+
+
+class FullyConnected:
+    """One fully connected layer; optionally followed by an activation.
+
+    ``activation`` is one of ``None``, ``"relu"`` or ``"sigmoid"`` and is
+    fused into the layer (the paper notes activations are element-wise
+    and fused into the GEMM epilogue, so they never appear as separate
+    hot ops).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+        activation: str | None = "relu",
+        engine: str = "reference",
+        threads: int = 28,
+        name: str = "",
+    ):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature dimensions must be positive")
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        if activation not in (None, "relu", "sigmoid"):
+            raise ValueError(f"unsupported activation {activation!r}")
+        rng = rng or np.random.default_rng()
+        # DLRM reference initialisation: N(0, sqrt(2 / (fan_in + fan_out))).
+        std = np.sqrt(2.0 / (in_features + out_features))
+        w = rng.normal(0.0, std, size=(out_features, in_features)).astype(np.float32)
+        b = rng.normal(0.0, np.sqrt(1.0 / out_features), size=out_features).astype(np.float32)
+        self.weight = Parameter(w, name=f"{name}.weight")
+        self.bias = Parameter(b, name=f"{name}.bias")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.activation = activation
+        self.engine = engine
+        self.threads = threads
+        self.flops = FlopCounter()
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+    # -- passes ----------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.ascontiguousarray(x, dtype=np.float32)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input (N, {self.in_features}), got {x.shape}"
+            )
+        self._x = x
+        if self.engine == "blocked":
+            z = _blocked_gemm_nt(x, self.weight.value, self.threads, self.flops)
+        elif self.engine == "bf16":
+            self.flops.add_gemm(x.shape[0], self.out_features, self.in_features)
+            z = bf16_dot(x, self.weight.value.T)
+        else:
+            self.flops.add_gemm(x.shape[0], self.out_features, self.in_features)
+            z = x @ self.weight.value.T
+        z += self.bias.value
+        if self.activation == "relu":
+            z = relu(z)
+        elif self.activation == "sigmoid":
+            z = sigmoid(z)
+        self._y = z
+        return z
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        """Backward-by-weights (into .grad) and backward-by-data (returned)."""
+        if self._x is None or self._y is None:
+            raise RuntimeError("backward called before forward")
+        dy = np.ascontiguousarray(dy, dtype=np.float32)
+        if dy.shape != self._y.shape:
+            raise ValueError(f"dy shape {dy.shape} != output {self._y.shape}")
+        if self.activation == "relu":
+            dz = relu_grad(dy, self._y)
+        elif self.activation == "sigmoid":
+            dz = dy * self._y * (1.0 - self._y)
+        else:
+            dz = dy
+        if self.engine == "blocked":
+            # BWD_W: dW[K, C] = dz[N, K]^T @ x[N, C]: a GEMM with the
+            # minibatch as reduction dim -- run blocked with operands
+            # recast so the batch-reduce kernel reduces over N.
+            dw = _blocked_gemm_nt(
+                np.ascontiguousarray(dz.T), np.ascontiguousarray(self._x.T),
+                self.threads, self.flops,
+            )
+            # BWD_D: dX[N, C] = dz[N, K] @ W[K, C].
+            dx = _blocked_gemm_nt(
+                dz, np.ascontiguousarray(self.weight.value.T), self.threads, self.flops
+            )
+        elif self.engine == "bf16":
+            # Both backward GEMMs through the emulated BF16 dot product.
+            self.flops.add_gemm(self.out_features, self.in_features, dz.shape[0])
+            dw = bf16_dot(np.ascontiguousarray(dz.T), self._x)
+            self.flops.add_gemm(dz.shape[0], self.in_features, self.out_features)
+            dx = bf16_dot(dz, self.weight.value)
+        else:
+            self.flops.add_gemm(self.out_features, self.in_features, dz.shape[0])
+            dw = dz.T @ self._x
+            self.flops.add_gemm(dz.shape[0], self.in_features, self.out_features)
+            dx = dz @ self.weight.value
+        self.weight.accumulate_grad(dw)
+        self.bias.accumulate_grad(dz.sum(axis=0))
+        return dx
+
+
+class MLP:
+    """A stack of fully connected layers (Bottom or Top MLP of DLRM)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        layer_sizes: tuple[int, ...] | list[int],
+        rng: np.random.Generator | None = None,
+        last_activation: str | None = None,
+        engine: str = "reference",
+        threads: int = 28,
+        name: str = "mlp",
+    ):
+        if not layer_sizes:
+            raise ValueError("need at least one layer")
+        rng = rng or np.random.default_rng()
+        self.layers: list[FullyConnected] = []
+        prev = in_features
+        for i, size in enumerate(layer_sizes):
+            last = i == len(layer_sizes) - 1
+            self.layers.append(
+                FullyConnected(
+                    prev,
+                    size,
+                    rng=rng,
+                    activation=(last_activation if last else "relu"),
+                    engine=engine,
+                    threads=threads,
+                    name=f"{name}.{i}",
+                )
+            )
+            prev = size
+
+    @property
+    def in_features(self) -> int:
+        return self.layers[0].in_features
+
+    @property
+    def out_features(self) -> int:
+        return self.layers[-1].out_features
+
+    def parameters(self) -> list[Parameter]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            dy = layer.backward(dy)
+        return dy
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()

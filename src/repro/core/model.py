@@ -1,0 +1,203 @@
+"""The DLRM model: Bottom MLP + EmbeddingBags + Interaction + Top MLP.
+
+Assembles the operators of this package into the topology of paper
+Fig. 1.  The dense features run through the Bottom MLP (ending at the
+embedding dimension E); the S sparse features are looked up in their
+tables; interaction combines the S+1 vectors; the Top MLP produces one
+logit per sample, trained with BCE.
+
+``loss_normalizer`` deserves a note: the loss divides the *sum* of
+per-sample losses by an explicit constant (default: the local minibatch).
+The hybrid-parallel wrapper sets it to the *global* minibatch on every
+rank so that summed (allreduced) gradients equal the single-socket
+gradients exactly -- the invariant the distributed tests pin down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.batch import Batch
+from repro.core.config import DLRMConfig
+from repro.core.embedding import EmbeddingBag, SparseGrad, SplitEmbeddingBag
+from repro.core.interaction import make_interaction
+from repro.core.loss import BCEWithLogitsLoss
+from repro.core.mlp import MLP, sigmoid
+from repro.core.optim import SGD
+from repro.core.param import Parameter
+from repro.util import rng_from
+
+
+class DLRM:
+    """Single-process DLRM (the paper's single-socket workload)."""
+
+    def __init__(
+        self,
+        cfg: DLRMConfig,
+        seed: int = 0,
+        engine: str = "reference",
+        storage: str = "fp32",
+        lo_bits: int = 16,
+        table_ids: list[int] | None = None,
+    ):
+        """Build the model.
+
+        ``table_ids`` restricts which embedding tables this process owns
+        (the hybrid-parallel wrapper passes each rank its share); table
+        initialisation draws from per-table seeded streams, so any
+        partition of tables across processes reproduces the exact same
+        weights as a single process holding all of them.
+        """
+        if storage not in ("fp32", "split_bf16"):
+            raise ValueError(f"storage must be fp32 or split_bf16, got {storage!r}")
+        self.cfg = cfg
+        self.seed = seed
+        self.storage = storage
+        rng = np.random.default_rng(seed)
+        self.bottom = MLP(
+            cfg.dense_features,
+            cfg.bottom_mlp,
+            rng=rng,
+            last_activation="relu",
+            engine=engine,
+            name="bottom",
+        )
+        self.top = MLP(
+            cfg.interaction_dim,
+            cfg.top_mlp,
+            rng=rng,
+            last_activation=None,  # logits; sigmoid lives in the loss
+            engine=engine,
+            name="top",
+        )
+        self.table_ids = list(range(cfg.num_tables)) if table_ids is None else list(table_ids)
+        if any(not 0 <= t < cfg.num_tables for t in self.table_ids):
+            raise ValueError("table_ids out of range")
+        self.tables: dict[int, EmbeddingBag] = {}
+        for t in self.table_ids:
+            table_rng = rng_from(seed, "table", t)
+            if storage == "split_bf16":
+                self.tables[t] = SplitEmbeddingBag(
+                    cfg.table_rows[t], cfg.embedding_dim, rng=table_rng, lo_bits=lo_bits
+                )
+            else:
+                self.tables[t] = EmbeddingBag(
+                    cfg.table_rows[t], cfg.embedding_dim, rng=table_rng
+                )
+        self.interaction = make_interaction(
+            cfg.interaction, cfg.num_tables, cfg.embedding_dim
+        )
+        self.loss_fn = BCEWithLogitsLoss()
+        self._batch: Batch | None = None
+        self._logits: np.ndarray | None = None
+        #: Sparse gradients of the last backward, keyed by table id.
+        self.sparse_grads: dict[int, SparseGrad] = {}
+
+    # -- introspection ------------------------------------------------------
+
+    def parameters(self) -> list[Parameter]:
+        """All dense (MLP) parameters, bottom first."""
+        return self.bottom.parameters() + self.top.parameters()
+
+    def capacity_bytes(self) -> int:
+        """Model + optimizer-visible storage of this process's shard."""
+        dense = sum(p.nbytes for p in self.parameters())
+        sparse = sum(t.capacity_bytes() for t in self.tables.values())
+        return dense + sparse
+
+    # -- passes ------------------------------------------------------------------
+
+    def embedding_forward(self, batch: Batch) -> dict[int, np.ndarray]:
+        """Look up only this process's tables (model-parallel half)."""
+        return {
+            t: self.tables[t].forward(batch.indices[t], batch.offsets[t])
+            for t in self.table_ids
+        }
+
+    def bottom_forward(self, batch: Batch) -> np.ndarray:
+        """Bottom MLP on the (data-parallel) dense features.
+
+        Split out so the hybrid-parallel runtime can overlap the forward
+        embedding alltoall with exactly this compute window -- the only
+        overlap available to the alltoall (paper Sect. VI-D).
+        """
+        return self.bottom.forward(batch.dense)
+
+    def top_forward(self, x_bottom: np.ndarray, emb_out: dict[int, np.ndarray]) -> np.ndarray:
+        """Interaction + Top MLP, given all S embedding outputs."""
+        missing = [t for t in range(self.cfg.num_tables) if t not in emb_out]
+        if missing:
+            raise ValueError(f"missing embedding outputs for tables {missing}")
+        embs = [emb_out[t] for t in range(self.cfg.num_tables)]
+        r = self.interaction.forward(x_bottom, embs)
+        logits = self.top.forward(r)
+        self._logits = logits
+        return logits
+
+    def dense_forward(self, batch: Batch, emb_out: dict[int, np.ndarray]) -> np.ndarray:
+        """Bottom MLP + interaction + Top MLP on (data-parallel) samples."""
+        return self.top_forward(self.bottom_forward(batch), emb_out)
+
+    def forward(self, batch: Batch) -> np.ndarray:
+        """Full forward pass (single-process: owns all tables)."""
+        self._batch = batch
+        emb_out = self.embedding_forward(batch)
+        return self.dense_forward(batch, emb_out)
+
+    def loss(self, batch: Batch, normalizer: float | None = None) -> float:
+        logits = self.forward(batch)
+        return self.loss_fn.forward(logits, batch.labels, normalizer=normalizer)
+
+    def top_backward(self, dlogits: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Top MLP + interaction backward; returns (d bottom-output,
+        per-table embedding-output gradients)."""
+        dr = self.top.backward(dlogits)
+        return self.interaction.backward(dr)
+
+    def bottom_backward(self, ddense: np.ndarray) -> np.ndarray:
+        """Bottom MLP backward (weight grads accumulate into parameters)."""
+        return self.bottom.backward(ddense)
+
+    def dense_backward(self, dlogits: np.ndarray, batch: Batch) -> list[np.ndarray]:
+        """Top MLP + interaction + Bottom MLP backward; returns the
+        per-table gradients of the embedding *outputs* (to be routed to
+        table owners in the distributed case)."""
+        ddense, dembs = self.top_backward(dlogits)
+        self.bottom_backward(ddense)
+        return dembs
+
+    def embedding_backward(self, demb: np.ndarray, table_id: int, batch: Batch) -> None:
+        """Alg. 2 for one owned table; stores the sparse gradient."""
+        table = self.tables[table_id]
+        self.sparse_grads[table_id] = table.backward(
+            demb, batch.indices[table_id], batch.offsets[table_id]
+        )
+
+    def backward(self) -> None:
+        """Full backward of the last :meth:`loss` (single-process)."""
+        if self._batch is None:
+            raise RuntimeError("backward called before loss/forward")
+        batch = self._batch
+        dlogits = self.loss_fn.backward()
+        dembs = self.dense_backward(dlogits, batch)
+        self.sparse_grads.clear()
+        for t in self.table_ids:
+            self.embedding_backward(dembs[t], t, batch)
+
+    def apply_updates(self, opt: SGD) -> None:
+        """Dense step + sparse step for every owned table."""
+        opt.step_dense(self.parameters())
+        for t, grad in self.sparse_grads.items():
+            opt.step_sparse(self.tables[t], grad)
+        self.sparse_grads.clear()
+
+    def train_step(self, batch: Batch, opt: SGD, normalizer: float | None = None) -> float:
+        """One SGD iteration; returns the (normalised) loss."""
+        loss = self.loss(batch, normalizer=normalizer)
+        self.backward()
+        self.apply_updates(opt)
+        return loss
+
+    def predict_proba(self, batch: Batch) -> np.ndarray:
+        """Click probabilities (sigmoid of the logits), shape (N,)."""
+        return sigmoid(self.forward(batch)).reshape(-1)

@@ -1,0 +1,212 @@
+"""Optimizers: plain SGD, Split-SGD-BF16, and master-weight mixed precision.
+
+DLRM trains with vanilla SGD; the paper's Sect. VII contribution is how
+to run that SGD in BF16 without a separate FP32 master copy:
+
+* :class:`SGD` -- FP32 baseline.  Dense parameters step in place; sparse
+  embedding gradients go through a Sect. III-A update strategy.
+* :class:`SplitSGD` -- Split-SGD-BF16.  Every dense parameter is split
+  into (hi, lo) uint16 halves; the model's compute tensor holds the BF16
+  ``hi`` widened to FP32, the optimizer keeps ``lo`` and performs a fully
+  FP32-accurate update on the recombined value.  ``lo_bits=8`` reproduces
+  the paper's FP24 (1-8-15) ablation, which Fig. 16 shows is *not*
+  accurate enough.
+* :class:`MasterWeightSGD` -- the classic mixed-precision scheme the
+  paper argues against: a full FP32 master copy (3x weight storage), with
+  BF16 weights re-quantised every step.  Kept as the capacity baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bf16 import (
+    bf16_to_fp32,
+    combine_fp32,
+    quantize_bf16,
+    split_fp32,
+    truncate_lo_bits,
+)
+from repro.core.embedding import EmbeddingBag, SparseGrad
+from repro.core.param import Parameter
+from repro.core.update import RaceFreeUpdate, UpdateStrategy
+
+
+class SGD:
+    """Vanilla SGD: ``w -= lr * grad`` (dense) + strategy scatter (sparse)."""
+
+    name = "sgd-fp32"
+
+    def __init__(self, lr: float, strategy: UpdateStrategy | None = None):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = float(lr)
+        self.strategy = strategy or RaceFreeUpdate()
+
+    def register(self, params: list[Parameter]) -> None:
+        """No per-parameter state for plain SGD."""
+
+    def step_dense(self, params: list[Parameter]) -> None:
+        for p in params:
+            if p.grad is None:
+                continue
+            p.value -= self.lr * p.grad
+            p.zero_grad()
+
+    def step_sparse(self, table: EmbeddingBag, grad: SparseGrad) -> None:
+        self.strategy.apply(table, grad, self.lr)
+
+    def bytes_per_dense_param_step(self) -> int:
+        """Traffic per parameter element (read w, read g, write w)."""
+        return 12
+
+
+class SplitSGD(SGD):
+    """Split-SGD-BF16 (paper Sect. VII).
+
+    Call :meth:`register` once after model construction; from then on the
+    parameters' ``value`` tensors always hold BF16 numbers (the hi half
+    widened), while this optimizer owns the lo halves.  Sparse tables
+    must be :class:`~repro.core.embedding.SplitEmbeddingBag`, which carry
+    their own hi/lo storage.
+    """
+
+    def __init__(self, lr: float, strategy: UpdateStrategy | None = None, lo_bits: int = 16):
+        super().__init__(lr, strategy)
+        if not 0 <= lo_bits <= 16:
+            raise ValueError(f"lo_bits must be in [0, 16], got {lo_bits}")
+        self.lo_bits = lo_bits
+        self.name = "split-sgd-bf16" if lo_bits == 16 else f"split-sgd-fp{16 + lo_bits}"
+        self._lo: dict[int, np.ndarray] = {}
+
+    def register(self, params: list[Parameter]) -> None:
+        for p in params:
+            hi, lo = split_fp32(p.value)
+            self._lo[id(p)] = truncate_lo_bits(lo, self.lo_bits)
+            p.value[...] = bf16_to_fp32(hi)
+
+    def step_dense(self, params: list[Parameter]) -> None:
+        for p in params:
+            if p.grad is None:
+                continue
+            lo = self._lo.get(id(p))
+            if lo is None:
+                raise RuntimeError(
+                    f"parameter {p.name or id(p)} not registered with SplitSGD"
+                )
+            hi, _ = split_fp32(p.value)  # value holds exactly the hi half
+            full = combine_fp32(hi, lo)
+            full -= self.lr * p.grad
+            new_hi, new_lo = split_fp32(full)
+            self._lo[id(p)] = truncate_lo_bits(new_lo, self.lo_bits)
+            p.value[...] = bf16_to_fp32(new_hi)
+            p.zero_grad()
+
+    def master_value(self, p: Parameter) -> np.ndarray:
+        """The implicit FP32 master weight of ``p`` (tests/inspection)."""
+        lo = self._lo.get(id(p))
+        if lo is None:
+            raise RuntimeError("parameter not registered")
+        hi, _ = split_fp32(p.value)
+        return combine_fp32(hi, lo)
+
+    def state_bytes(self, params: list[Parameter]) -> int:
+        """Optimizer state: 2 bytes/element (the lo halves)."""
+        return sum(p.size * 2 for p in params)
+
+
+class SparseAdagrad(SGD):
+    """Adagrad with row-wise state for the embedding tables.
+
+    DLRM's reference implementation offers Adagrad as the alternative to
+    SGD for the sparse features; it is included here as the natural
+    extension beyond the paper's vanilla-SGD evaluation.  Dense
+    parameters keep per-element accumulators; embedding tables keep one
+    accumulator *per row* (the standard row-wise sparse Adagrad), so the
+    optimizer state for a table is M floats, not M*E.
+
+    Only FP32 tables are supported: combining Adagrad state with the
+    Split-BF16 storage is future work (the paper's Split-SGD argument
+    applies to any optimizer whose update is computed in FP32, but the
+    state layout needs its own design).
+    """
+
+    name = "sparse-adagrad"
+
+    def __init__(self, lr: float, strategy: UpdateStrategy | None = None, eps: float = 1e-8):
+        super().__init__(lr, strategy)
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        self.eps = eps
+        self._dense_state: dict[int, np.ndarray] = {}
+        self._row_state: dict[int, np.ndarray] = {}
+
+    def register(self, params: list[Parameter]) -> None:
+        for p in params:
+            self._dense_state[id(p)] = np.zeros(p.shape, dtype=np.float32)
+
+    def step_dense(self, params: list[Parameter]) -> None:
+        for p in params:
+            if p.grad is None:
+                continue
+            acc = self._dense_state.get(id(p))
+            if acc is None:
+                raise RuntimeError("parameter not registered with SparseAdagrad")
+            acc += p.grad * p.grad
+            p.value -= self.lr * p.grad / (np.sqrt(acc) + self.eps)
+            p.zero_grad()
+
+    def step_sparse(self, table: EmbeddingBag, grad: SparseGrad) -> None:
+        if table.storage != "fp32":
+            raise ValueError(
+                "SparseAdagrad supports FP32 tables only (see class docstring)"
+            )
+        acc = self._row_state.get(id(table))
+        if acc is None:
+            acc = np.zeros(table.rows, dtype=np.float32)
+            self._row_state[id(table)] = acc
+        uniq, agg = grad.aggregated()
+        # Row-wise accumulator: mean squared gradient over the row.
+        acc[uniq] += np.mean(agg * agg, axis=1)
+        scale = self.lr / (np.sqrt(acc[uniq]) + self.eps)
+        table.scatter_add_rows(uniq, -scale[:, None] * agg)
+
+    def state_bytes(self, params: list[Parameter], tables: list[EmbeddingBag] = ()) -> int:
+        dense = sum(p.size * 4 for p in params)
+        sparse = sum(t.rows * 4 for t in tables)
+        return dense + sparse
+
+
+class MasterWeightSGD(SGD):
+    """Classic BF16 mixed precision with an FP32 master copy.
+
+    Storage: 4 B master + 4 B (BF16-in-FP32 compute tensor) per element
+    here; on real silicon 4 B + 2 B = 3x the BF16 model size, which for
+    DLRM's hundreds-of-GB tables is "hundreds of Gigabytes more capacity"
+    -- the overhead Split-SGD removes.
+    """
+
+    name = "master-weight-bf16"
+
+    def __init__(self, lr: float, strategy: UpdateStrategy | None = None):
+        super().__init__(lr, strategy)
+        self._master: dict[int, np.ndarray] = {}
+
+    def register(self, params: list[Parameter]) -> None:
+        for p in params:
+            self._master[id(p)] = p.value.astype(np.float32, copy=True)
+            p.value[...] = quantize_bf16(p.value)
+
+    def step_dense(self, params: list[Parameter]) -> None:
+        for p in params:
+            if p.grad is None:
+                continue
+            master = self._master.get(id(p))
+            if master is None:
+                raise RuntimeError("parameter not registered with MasterWeightSGD")
+            master -= self.lr * p.grad
+            p.value[...] = quantize_bf16(master)
+            p.zero_grad()
+
+    def state_bytes(self, params: list[Parameter]) -> int:
+        return sum(p.size * 4 for p in params)

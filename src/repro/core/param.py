@@ -1,0 +1,48 @@
+"""Dense parameter container shared by the MLP layers and optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable FP32 tensor with an accumulated gradient.
+
+    The gradient convention follows the loss normalisation chosen by the
+    model: ``grad`` holds d(loss)/d(value) and optimizers subtract
+    ``lr * grad``.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = ""):
+        self.value = np.ascontiguousarray(value, dtype=np.float32)
+        self.grad: np.ndarray | None = None
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return self.value.size
+
+    @property
+    def nbytes(self) -> int:
+        return self.value.nbytes
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def accumulate_grad(self, g: np.ndarray) -> None:
+        """Add ``g`` into the gradient (allocating on first use)."""
+        if g.shape != self.value.shape:
+            raise ValueError(
+                f"gradient shape {g.shape} does not match parameter {self.value.shape}"
+            )
+        if self.grad is None:
+            self.grad = np.array(g, dtype=np.float32, copy=True)
+        else:
+            self.grad += g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name or 'unnamed'}, shape={self.value.shape})"

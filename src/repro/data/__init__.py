@@ -1,0 +1,23 @@
+"""Dataset substrate.
+
+The paper uses a uniform random dataset for the small/large configs and
+the Criteo Terabyte click logs for the MLPerf config.  The terabyte logs
+are not redistributable, so :mod:`repro.data.criteo` generates a
+synthetic stand-in that preserves the two properties the experiments
+depend on: the Zipf-skewed index distribution (driving the embedding
+update contention of Fig. 7/8) and a learnable click signal (driving the
+AUC curves of Fig. 16).
+"""
+
+from repro.data.synthetic import RandomRecDataset, bounded_zipf
+from repro.data.criteo import SyntheticCriteoDataset
+from repro.data.loader import DataLoader, GlobalBatchLoader, ShardedLoader
+
+__all__ = [
+    "RandomRecDataset",
+    "bounded_zipf",
+    "SyntheticCriteoDataset",
+    "DataLoader",
+    "GlobalBatchLoader",
+    "ShardedLoader",
+]

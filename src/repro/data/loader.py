@@ -1,0 +1,77 @@
+"""Data loaders, including the paper's global-minibatch loader flaw.
+
+Sect. VI-D2 diagnoses a weak-scaling anomaly: "the current data loader
+design ... always reads the data for full global minibatch on each rank
+and with weak scaling that cost steadily grows".  We model both loaders:
+
+* :class:`GlobalBatchLoader` -- every rank materialises the *global*
+  batch, then slices its shard (cost proportional to GN on every rank);
+* :class:`ShardedLoader` -- the fixed design: each rank reads only its
+  shard (cost proportional to LN).
+
+Both produce identical shards, so the flaw is purely a cost phenomenon --
+which is exactly how the paper describes it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.batch import Batch
+from repro.data.synthetic import RandomRecDataset
+
+
+class DataLoader:
+    """Sequential deterministic batches from a dataset."""
+
+    def __init__(self, dataset: RandomRecDataset, batch_size: int, start_index: int = 0):
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self._next = start_index
+
+    def __iter__(self) -> Iterator[Batch]:
+        return self
+
+    def __next__(self) -> Batch:
+        b = self.dataset.batch(self.batch_size, self._next)
+        self._next += 1
+        return b
+
+    def take(self, count: int) -> list[Batch]:
+        return [next(self) for _ in range(count)]
+
+
+class GlobalBatchLoader:
+    """The flawed loader: each rank reads GN samples, keeps LN.
+
+    ``samples_read_per_rank`` is what the cost model charges -- it equals
+    the global batch regardless of rank count.
+    """
+
+    def __init__(self, dataset: RandomRecDataset, global_batch: int, ranks: int):
+        if global_batch % ranks:
+            raise ValueError("global batch must divide evenly across ranks")
+        self.dataset = dataset
+        self.global_batch = global_batch
+        self.ranks = ranks
+        self._next = 0
+
+    @property
+    def samples_read_per_rank(self) -> int:
+        return self.global_batch
+
+    def next_shards(self) -> tuple[Batch, list[Batch]]:
+        """(global batch, per-rank shards) -- all ranks parse the former."""
+        g = self.dataset.batch(self.global_batch, self._next)
+        self._next += 1
+        return g, g.shard(self.ranks)
+
+
+class ShardedLoader(GlobalBatchLoader):
+    """The fixed loader: each rank reads only its LN shard."""
+
+    @property
+    def samples_read_per_rank(self) -> int:
+        return self.global_batch // self.ranks

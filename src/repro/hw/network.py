@@ -1,0 +1,173 @@
+"""Alpha-beta collective cost model over a routed :class:`Topology`.
+
+The paper's scaling analysis (Sect. VI-D) rests on two volume equations:
+
+* Eq. 1 -- the allreduce moves the full MLP gradient (independent of rank
+  count and minibatch), realised as reduce-scatter + allgather so it can
+  be overlapped with backward GEMMs (Fig. 2).
+* Eq. 2 -- the alltoall moves ``S * N * E`` embedding elements *in total*
+  across all ranks; each ordered rank pair exchanges ``V / R^2`` bytes, so
+  doubling ranks under strong scaling cuts the per-pair message 4x.
+
+The :class:`NetworkModel` routes every flow of a collective on the
+topology's shortest paths and reports the bottleneck link's time (plus
+path latency), scaled by the communication backend's effective-bandwidth
+factor (a single unpinned MPI progress thread cannot saturate a 100G
+port; oneCCL's pinned workers nearly can).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.hw.topology import Topology
+
+
+@dataclass(frozen=True)
+class CollectiveCost:
+    """Separated transfer and latency components of a collective."""
+
+    transfer: float
+    latency: float
+
+    @property
+    def total(self) -> float:
+        return self.transfer + self.latency
+
+    def scaled(self, bw_factor: float) -> "CollectiveCost":
+        """Apply a backend bandwidth-efficiency factor to the transfer part."""
+        if bw_factor <= 0:
+            raise ValueError("bw_factor must be positive")
+        return CollectiveCost(self.transfer / bw_factor, self.latency)
+
+
+class NetworkModel:
+    """Times collectives on a topology, one flow-level route at a time."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        alltoall_inefficiency: float = 1.0,
+        alltoall_fixed_bw: float | None = None,
+    ):
+        self.topology = topology
+        #: Multiplier applied to alltoall transfer time when the algorithm
+        #: is not tuned for the fabric (the paper observes this on the
+        #: twisted-hypercube UPI node, Sect. VI-D3).
+        self.alltoall_inefficiency = alltoall_inefficiency
+        #: Effective aggregate bandwidth floor for an *untuned* alltoall:
+        #: the stock algorithm drives only a fixed schedule of links, so
+        #: its throughput does not grow with participant count.  This is
+        #: what makes the 8-socket node's alltoall cost flat from 4 to 8
+        #: sockets (Fig. 15) -- more ranks bring more links, but the
+        #: algorithm does not use them.
+        self.alltoall_fixed_bw = alltoall_fixed_bw
+
+    # -- traffic-matrix primitives ------------------------------------------
+
+    def _traffic_cost(self, traffic: Mapping[tuple[int, int], float]) -> CollectiveCost:
+        loads = self.topology.link_loads(traffic)
+        if not loads:
+            return CollectiveCost(0.0, 0.0)
+        transfer = max(
+            nbytes / self.topology.link_bw(u, v) for (u, v), nbytes in loads.items()
+        )
+        latency = max(
+            self.topology.path_latency(s, d)
+            for (s, d), nbytes in traffic.items()
+            if s != d and nbytes > 0
+        )
+        return CollectiveCost(transfer, latency)
+
+    def p2p(self, src: int, dst: int, nbytes: float) -> CollectiveCost:
+        """One point-to-point transfer."""
+        if src == dst or nbytes <= 0:
+            return CollectiveCost(0.0, 0.0)
+        return self._traffic_cost({(src, dst): float(nbytes)})
+
+    # -- ring collectives ------------------------------------------------------
+
+    def _ring_phase(self, participants: Sequence[int], nbytes: float) -> CollectiveCost:
+        """One ring phase: R-1 steps, each moving ``nbytes / R`` per rank.
+
+        This is the standard cost of both reduce-scatter and allgather:
+        ``(R-1)/R * nbytes`` through the slowest link, with R-1 latency
+        hops.
+        """
+        order = self.topology.ring_order(participants)
+        r = len(order)
+        if r <= 1 or nbytes <= 0:
+            return CollectiveCost(0.0, 0.0)
+        chunk = float(nbytes) / r
+        step = self._traffic_cost(
+            {(order[i], order[(i + 1) % r]): chunk for i in range(r)}
+        )
+        return CollectiveCost(step.transfer * (r - 1), step.latency * (r - 1))
+
+    def reduce_scatter(self, participants: Sequence[int], nbytes: float) -> CollectiveCost:
+        """Ring reduce-scatter of an ``nbytes`` buffer per rank."""
+        return self._ring_phase(participants, nbytes)
+
+    def allgather(self, participants: Sequence[int], nbytes: float) -> CollectiveCost:
+        """Ring allgather producing an ``nbytes`` buffer per rank."""
+        return self._ring_phase(participants, nbytes)
+
+    def allreduce(self, participants: Sequence[int], nbytes: float) -> CollectiveCost:
+        """Allreduce = reduce-scatter + allgather (the paper's realisation).
+
+        Cost approaches ``2 * nbytes / link_bw`` for large R, and is
+        independent of rank count in volume -- the strong-scaling
+        bottleneck the paper highlights.
+        """
+        rs = self.reduce_scatter(participants, nbytes)
+        ag = self.allgather(participants, nbytes)
+        return CollectiveCost(rs.transfer + ag.transfer, rs.latency + ag.latency)
+
+    # -- alltoall and scatters ---------------------------------------------------
+
+    def alltoall(self, participants: Sequence[int], total_bytes: float) -> CollectiveCost:
+        """Personalised all-to-all of ``total_bytes`` across all ranks.
+
+        Every ordered pair (i != j) exchanges ``total_bytes / R^2``; the
+        diagonal stays local.  Routed congestion captures both the
+        fat-tree's 2:1 pruning and the twisted hypercube's multi-hop
+        paths; ``alltoall_inefficiency`` models an untuned algorithm on
+        the latter.
+        """
+        r = len(participants)
+        if r <= 1 or total_bytes <= 0:
+            return CollectiveCost(0.0, 0.0)
+        pair = float(total_bytes) / (r * r)
+        traffic = {
+            (i, j): pair for i in participants for j in participants if i != j
+        }
+        cost = self._traffic_cost(traffic)
+        transfer = cost.transfer * self.alltoall_inefficiency
+        if self.alltoall_fixed_bw:
+            cross = float(total_bytes) * (r - 1) / r  # off-diagonal volume
+            transfer = max(transfer, cross / self.alltoall_fixed_bw)
+        return CollectiveCost(transfer, cost.latency)
+
+    def scatter(self, root: int, participants: Sequence[int], total_bytes: float) -> CollectiveCost:
+        """Root-scatter: the root streams ``total_bytes * (R-1)/R`` out of
+        its single port, one destination at a time (R-1 latency terms).
+
+        This is the building block of the paper's "ScatterList" and
+        "Fused Scatter" embedding-exchange strategies, and the reason they
+        lose to the native alltoall: the root's port serialises what the
+        alltoall spreads over all links.
+        """
+        r = len(participants)
+        if r <= 1 or total_bytes <= 0:
+            return CollectiveCost(0.0, 0.0)
+        share = float(total_bytes) / r
+        transfer = 0.0
+        latency = 0.0
+        for dst in participants:
+            if dst == root:
+                continue
+            c = self.p2p(root, dst, share)
+            transfer += c.transfer
+            latency += c.latency
+        return CollectiveCost(transfer, latency)

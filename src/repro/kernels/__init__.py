@@ -1,0 +1,43 @@
+"""Kernel substrate: blocked tensor layouts, batch-reduce GEMM, threading.
+
+These modules stand in for the LIBXSMM/MKL microkernels the paper builds
+on.  The numerics are exact FP32 NumPy; the *loop structure* mirrors the
+paper's Algorithm 5 (blocked layouts + batch-reduce GEMM) so that the
+code path being cost-modelled is the code path that actually executes.
+"""
+
+from repro.kernels.blocked import (
+    BlockedLayout,
+    block_activation,
+    unblock_activation,
+    block_weight,
+    unblock_weight,
+    choose_blocking,
+)
+from repro.kernels.gemm import (
+    reference_gemm,
+    batch_reduce_gemm,
+    blocked_matmul,
+    FlopCounter,
+)
+from repro.kernels.threads import (
+    static_partition,
+    row_range_for_thread,
+    partition_balance,
+)
+
+__all__ = [
+    "BlockedLayout",
+    "block_activation",
+    "unblock_activation",
+    "block_weight",
+    "unblock_weight",
+    "choose_blocking",
+    "reference_gemm",
+    "batch_reduce_gemm",
+    "blocked_matmul",
+    "FlopCounter",
+    "static_partition",
+    "row_range_for_thread",
+    "partition_balance",
+]

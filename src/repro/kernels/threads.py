@@ -1,0 +1,41 @@
+"""Static thread-partitioning helpers (paper Alg. 4 line 1-3, Alg. 5 line 1).
+
+Both the race-free embedding update and the blocked MLP assign work to
+threads with closed-form static ranges: thread ``t`` of ``T`` owns items
+``[floor(W*t/T), floor(W*(t+1)/T))``.  The simulator executes sequentially
+but uses these exact ranges so load-balance statistics (and hence the cost
+model's imbalance penalties) match what real threads would see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def static_partition(work: int, threads: int) -> list[tuple[int, int]]:
+    """Closed-form static ranges over ``work`` items for ``threads`` workers."""
+    if work < 0:
+        raise ValueError("work must be non-negative")
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    return [
+        ((work * t) // threads, (work * (t + 1)) // threads) for t in range(threads)
+    ]
+
+
+def row_range_for_thread(rows: int, tid: int, threads: int) -> tuple[int, int]:
+    """Alg. 4 lines 2-3: the row range owned by thread ``tid``."""
+    if not 0 <= tid < threads:
+        raise ValueError(f"tid must be in [0, {threads}), got {tid}")
+    return (rows * tid) // threads, (rows * (tid + 1)) // threads
+
+
+def partition_balance(counts_per_thread: np.ndarray) -> float:
+    """Max/mean load ratio of a partition (1.0 = perfectly balanced)."""
+    counts = np.asarray(counts_per_thread, dtype=np.float64)
+    if counts.size == 0:
+        return 1.0
+    mean = counts.mean()
+    if mean == 0:
+        return 1.0
+    return float(counts.max() / mean)

@@ -1,0 +1,49 @@
+"""Multi-socket DLRM: the simulated SPMD runtime, the hybrid-parallel
+model (functional numerics + timing), its analytic paper-scale twin, and
+the MLP communication-overlap engine.
+"""
+
+from repro.parallel.cluster import SimCluster, CollectiveHandle
+from repro.parallel.hybrid import (
+    DistributedDLRM,
+    mlp_forward_time,
+    mlp_backward_time,
+)
+from repro.parallel.timing import (
+    IterationResult,
+    model_iteration,
+    single_socket_iteration,
+    synthetic_table_stats,
+)
+from repro.parallel.placement import (
+    balanced_placement,
+    make_placement,
+    placement_stats,
+    round_robin_placement,
+    validate_placement,
+)
+from repro.parallel.overlap import (
+    OverlapReport,
+    LayerOverlap,
+    overlap_mlp_training,
+)
+
+__all__ = [
+    "SimCluster",
+    "CollectiveHandle",
+    "DistributedDLRM",
+    "mlp_forward_time",
+    "mlp_backward_time",
+    "IterationResult",
+    "model_iteration",
+    "single_socket_iteration",
+    "synthetic_table_stats",
+    "balanced_placement",
+    "make_placement",
+    "placement_stats",
+    "round_robin_placement",
+    "validate_placement",
+    "OverlapReport",
+    "LayerOverlap",
+    "overlap_mlp_training",
+]

@@ -1,0 +1,259 @@
+"""The simulated SPMD cluster: per-rank virtual clocks + timed collectives.
+
+One :class:`SimCluster` stands in for either testbed: ``platform="node"``
+places ranks on the 8-socket SKX twisted hypercube, ``platform="cluster"``
+on the 64-socket CLX pruned fat-tree (ranks fill sockets in order,
+matching the paper's "occupy the node first before going multiple
+nodes").
+
+Execution is lockstep: the orchestrator runs each rank's compute phase
+sequentially, charging virtual time per rank, and issues collectives
+*collectively* (one call covering all ranks).  Collectives return a
+:class:`CollectiveHandle`; data is moved immediately (deterministic
+lockstep) but the *time* is only paid at :meth:`CollectiveHandle.wait`,
+which is where overlap either hides the cost or exposes it -- exactly the
+quantity Figs. 10-14 plot.
+
+Backend pathologies reproduced here:
+
+* the network transfer engine is serialised per backend (a second
+  collective cannot progress before the first finishes its transfer);
+* MPI completes in issue order, so a cheap alltoall waited early absorbs
+  an expensive allreduce issued before it (Sect. VI-D);
+* MPI's unpinned progress thread inflates any compute charged while
+  requests are in flight; CCL instead donates ``dedicated_cores`` to the
+  communication engine permanently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.comm.backend import BackendSpec, make_backend
+from repro.comm import collectives as fc
+from repro.comm.ring import ring_allreduce
+from repro.hw.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hw.costmodel import CostModel
+from repro.hw.network import CollectiveCost, NetworkModel
+from repro.hw.spec import CLX_8280, SKX_8180, SocketSpec
+from repro.hw.topology import Topology, pruned_fat_tree, twisted_hypercube
+from repro.perf.clock import VirtualClock
+from repro.perf.profiler import Profiler
+
+
+class CollectiveHandle:
+    """An in-flight collective; ``wait(rank)`` pays the exposed time."""
+
+    def __init__(self, cluster: "SimCluster", op: str, completion: dict[int, float]):
+        self.cluster = cluster
+        self.op = op
+        self.completion = completion
+        self._waited: set[int] = set()
+
+    def wait(self, rank: int) -> float:
+        """Block rank until completion; returns the exposed wait seconds."""
+        if rank not in self.completion:
+            raise ValueError(f"rank {rank} did not participate in this {self.op}")
+        if rank in self._waited:
+            return 0.0
+        clock = self.cluster.clocks[rank]
+        exposed = max(0.0, self.completion[rank] - clock.now)
+        clock.advance(exposed)
+        self.cluster.profilers[rank].add(f"comm.{self.op}.wait", exposed)
+        self._waited.add(rank)
+        self.cluster._inflight[rank].discard(self)
+        return exposed
+
+    def wait_all(self) -> None:
+        for rank in self.completion:
+            self.wait(rank)
+
+    @property
+    def done(self) -> bool:
+        return len(self._waited) == len(self.completion)
+
+
+class SimCluster:
+    """R ranks, one socket each, joined by a modelled fabric."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        platform: str = "cluster",
+        backend: str | BackendSpec = "ccl",
+        calib: Calibration = DEFAULT_CALIBRATION,
+        blocking: bool = False,
+        socket: SocketSpec | None = None,
+        topology: Topology | None = None,
+    ):
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        if platform not in ("node", "cluster"):
+            raise ValueError(f"platform must be 'node' or 'cluster', got {platform!r}")
+        if platform == "node" and n_ranks > 8:
+            raise ValueError("the 8-socket node holds at most 8 ranks")
+        self.n_ranks = n_ranks
+        self.platform = platform
+        self.calib = calib
+        self.blocking = blocking
+        if socket is None:
+            socket = SKX_8180 if platform == "node" else CLX_8280
+        self.socket = socket
+        if topology is None:
+            if platform == "node":
+                topology = twisted_hypercube(8)
+            else:
+                topology = pruned_fat_tree(max(64, n_ranks))
+        if platform == "node":
+            ineff = calib.upi_alltoall_inefficiency
+            fixed_bw = calib.upi_alltoall_effective_bw_gbs * 1e9
+        else:
+            ineff, fixed_bw = 1.0, None
+        self.topology = topology
+        self.net = NetworkModel(
+            topology, alltoall_inefficiency=ineff, alltoall_fixed_bw=fixed_bw
+        )
+        self.backend: BackendSpec = (
+            backend if isinstance(backend, BackendSpec) else make_backend(backend, calib)
+        )
+        self.cost = CostModel(socket, calib)
+        self.clocks = [VirtualClock() for _ in range(n_ranks)]
+        self.profilers = [Profiler() for _ in range(n_ranks)]
+        self._inflight: list[set[CollectiveHandle]] = [set() for _ in range(n_ranks)]
+        #: Per-rank completion time of the last *issued* collective (for
+        #: in-order backends).
+        self._last_completion = [0.0] * n_ranks
+        #: Time at which the shared network engine becomes free.
+        self._network_free = 0.0
+
+    # -- rank properties --------------------------------------------------------
+
+    @property
+    def ranks(self) -> range:
+        return range(self.n_ranks)
+
+    @property
+    def compute_cores(self) -> int:
+        """Cores available to compute after the backend's core split."""
+        return self.socket.cores - self.backend.dedicated_cores
+
+    def participants(self) -> list[int]:
+        """Socket ids hosting the ranks (in rank order)."""
+        return list(range(self.n_ranks))
+
+    # -- time charging ---------------------------------------------------------------
+
+    def charge(self, rank: int, seconds: float, category: str) -> float:
+        """Charge compute time to one rank, applying backend interference
+        while communication is in flight.  Returns the charged seconds."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        if self._inflight[rank] and self.backend.compute_interference > 1.0:
+            seconds *= self.backend.compute_interference
+        self.clocks[rank].advance(seconds)
+        self.profilers[rank].add(category, seconds)
+        return seconds
+
+    def charge_all(self, seconds: float, category: str) -> None:
+        for r in self.ranks:
+            self.charge(r, seconds, category)
+
+    def barrier(self) -> None:
+        """Synchronise all rank clocks to the latest."""
+        latest = max(c.now for c in self.clocks)
+        for c in self.clocks:
+            c.advance_to(latest)
+
+    def snapshot(self) -> list[float]:
+        return [c.now for c in self.clocks]
+
+    def elapsed_since(self, snapshot: list[float]) -> float:
+        """Wall-clock of the slowest rank since ``snapshot``."""
+        return max(c.now - t0 for c, t0 in zip(self.clocks, snapshot))
+
+    # -- collective issue machinery --------------------------------------------------
+
+    def issue(
+        self,
+        op: str,
+        cost: CollectiveCost,
+        blocking: bool | None = None,
+    ) -> CollectiveHandle:
+        """Register a collective with transfer cost ``cost`` and return a
+        handle.  This is the timing half; the functional data movement is
+        done by the public collective methods below (or by strategies
+        composing several transfers into one issue)."""
+        start = max(c.now for c in self.clocks)
+        duration = cost.scaled(self.backend.bw_factor).total + self.backend.call_overhead_s
+        # The fabric/progress engine is shared: a collective cannot start
+        # transferring before the previous one is done.
+        transfer_start = max(start, self._network_free)
+        raw_done = transfer_start + duration
+        self._network_free = raw_done
+        completion: dict[int, float] = {}
+        for r in self.ranks:
+            done = raw_done
+            if self.backend.in_order:
+                done = max(done, self._last_completion[r])
+                self._last_completion[r] = done
+            completion[r] = done
+        handle = CollectiveHandle(self, op, completion)
+        for r in self.ranks:
+            self._inflight[r].add(handle)
+        effective_blocking = self.blocking if blocking is None else blocking
+        if effective_blocking:
+            handle.wait_all()
+        return handle
+
+    # -- timed + functional collectives ------------------------------------------------
+
+    def allreduce(
+        self, bufs: list[np.ndarray], op: str = "allreduce", blocking: bool | None = None
+    ) -> tuple[list[np.ndarray], CollectiveHandle]:
+        """Sum-allreduce of one buffer per rank (realised as
+        reduce-scatter + allgather, per the paper)."""
+        if len(bufs) != self.n_ranks:
+            raise ValueError(f"expected {self.n_ranks} buffers, got {len(bufs)}")
+        # The actual ring algorithm: the data path executes exactly what
+        # the cost model prices (reduce-scatter + allgather rotations).
+        out = ring_allreduce(bufs)
+        cost = self.net.allreduce(self.participants(), bufs[0].nbytes)
+        handle = self.issue(op, cost, blocking)
+        return out, handle
+
+    def alltoall(
+        self,
+        send: list[list[np.ndarray]],
+        op: str = "alltoall",
+        blocking: bool | None = None,
+    ) -> tuple[list[list[np.ndarray]], CollectiveHandle]:
+        """Personalised all-to-all; cost uses the total exchanged volume."""
+        if len(send) != self.n_ranks:
+            raise ValueError(f"expected {self.n_ranks} send lists, got {len(send)}")
+        recv = fc.alltoall_exchange(send)
+        total = sum(
+            msg.nbytes for i, msgs in enumerate(send) for j, msg in enumerate(msgs) if i != j
+        )
+        # Include the local (diagonal) share in the volume the way Eq. 2
+        # counts it; the network model divides by R^2 and ignores i == j.
+        total += sum(send[i][i].nbytes for i in range(self.n_ranks))
+        cost = self.net.alltoall(self.participants(), total)
+        handle = self.issue(op, cost, blocking)
+        return recv, handle
+
+    def scatter(
+        self,
+        root: int,
+        chunks: list[np.ndarray],
+        op: str = "alltoall",
+        blocking: bool | None = None,
+    ) -> tuple[list[np.ndarray], CollectiveHandle]:
+        """Root-scatter of per-rank chunks (charged to the alltoall bucket
+        by default: it implements the embedding exchange)."""
+        out = fc.scatter_chunks(chunks, root)
+        total = sum(c.nbytes for c in chunks)
+        cost = self.net.scatter(root, self.participants(), total)
+        handle = self.issue(op, cost, blocking)
+        return out, handle

@@ -1,0 +1,20 @@
+"""Instrumentation: virtual clocks, per-category profilers, table output.
+
+Replaces the autograd profiling hooks the paper added to PyTorch's DDP
+and communication backends (Sect. IV-C): every charge lands in a
+hierarchical category ("comm.alltoall.wait", "compute.mlp.fwd", ...), and
+the report helpers aggregate them into the exact buckets of Figs. 10-15
+(Compute / Communication, and Framework vs. Wait per collective).
+"""
+
+from repro.perf.clock import VirtualClock
+from repro.perf.profiler import Profiler, COMM_BUCKETS
+from repro.perf.report import format_table, format_seconds
+
+__all__ = [
+    "VirtualClock",
+    "Profiler",
+    "COMM_BUCKETS",
+    "format_table",
+    "format_seconds",
+]

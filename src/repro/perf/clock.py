@@ -1,0 +1,30 @@
+"""A per-rank virtual clock for the simulated SPMD runtime."""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Monotonically advancing simulated time, in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move forward by ``seconds`` (must be non-negative); returns now."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance by negative time: {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move forward to absolute time ``t`` if it is in the future."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(now={self._now:.6f}s)"

@@ -1,0 +1,87 @@
+"""Hierarchical time-category accounting.
+
+Categories are dot-separated paths; the conventions used throughout the
+runtime are:
+
+* ``compute.*``            -- GEMMs, embedding kernels, elementwise ops
+* ``data.loader``          -- minibatch parsing
+* ``comm.<coll>.framework``-- flat-buffer packing / gradient averaging
+* ``comm.<coll>.wait``     -- exposed wait time of collective <coll>
+* ``update.*``             -- optimizer passes
+
+``COMM_BUCKETS`` maps those onto the four stacked series of the paper's
+communication-breakdown plots (Figs. 11 and 14).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+#: Paper Fig. 11/14 series -> category prefix.
+COMM_BUCKETS = {
+    "Alltoall-Framework": "comm.alltoall.framework",
+    "Allreduce-Framework": "comm.allreduce.framework",
+    "Alltoall-Wait": "comm.alltoall.wait",
+    "Allreduce-Wait": "comm.allreduce.wait",
+}
+
+
+class Profiler:
+    """Accumulates seconds per dot-separated category."""
+
+    def __init__(self) -> None:
+        self._times: dict[str, float] = defaultdict(float)
+
+    def add(self, category: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative time charge for {category!r}: {seconds}")
+        if not category:
+            raise ValueError("category must be non-empty")
+        self._times[category] += seconds
+
+    def get(self, category: str) -> float:
+        """Exact-category time (0.0 if never charged)."""
+        return self._times.get(category, 0.0)
+
+    def total(self, prefix: str = "") -> float:
+        """Sum over all categories equal to, or nested under, ``prefix``."""
+        if not prefix:
+            return sum(self._times.values())
+        dotted = prefix + "."
+        return sum(
+            t for c, t in self._times.items() if c == prefix or c.startswith(dotted)
+        )
+
+    def categories(self) -> list[str]:
+        return sorted(self._times)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self._times)
+
+    def merge(self, other: "Profiler") -> None:
+        for c, t in other._times.items():
+            self._times[c] += t
+
+    def clear(self) -> None:
+        self._times.clear()
+
+    # -- paper-figure aggregations ----------------------------------------
+
+    def compute_time(self) -> float:
+        """The "Compute" series of Figs. 10/13 (everything that is not an
+        exposed communication wait)."""
+        return (
+            self.total("compute")
+            + self.total("update")
+            + self.total("data")
+            + self.total("comm.alltoall.framework")
+            + self.total("comm.allreduce.framework")
+        )
+
+    def comm_time(self) -> float:
+        """The "Communication" series of Figs. 10/13: exposed waits."""
+        return self.total("comm.alltoall.wait") + self.total("comm.allreduce.wait")
+
+    def comm_breakdown(self) -> dict[str, float]:
+        """The four stacked series of Figs. 11/14."""
+        return {name: self.total(prefix) for name, prefix in COMM_BUCKETS.items()}

@@ -1,0 +1,31 @@
+"""Small shared utilities: stable seeded RNG streams.
+
+NumPy's ``SeedSequence`` accepts only integers, so hierarchical stream
+labels ("table 3 of seed 7") are hashed to stable 64-bit integers first.
+Stability matters: the distributed == single-process equivalence tests
+rely on every process deriving bit-identical table weights from the same
+(seed, label) keys, regardless of which rank instantiates them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def seed_key(*parts: object) -> list[int]:
+    """Map arbitrary hashable parts to a stable entropy list."""
+    out: list[int] = []
+    for p in parts:
+        if isinstance(p, (int, np.integer)):
+            out.append(int(p) & 0xFFFFFFFFFFFFFFFF)
+        else:
+            digest = hashlib.sha256(repr(p).encode()).digest()
+            out.append(int.from_bytes(digest[:8], "little"))
+    return out
+
+
+def rng_from(*parts: object) -> np.random.Generator:
+    """A deterministic Generator for the stream labelled by ``parts``."""
+    return np.random.default_rng(seed_key(*parts))

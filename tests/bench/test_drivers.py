@@ -1,0 +1,122 @@
+"""Smoke + schema tests for every experiment driver."""
+
+import pytest
+
+from repro.bench import (
+    run_fig5_mlp_kernels,
+    run_fig6_overlap,
+    run_fig7_single_socket,
+    run_fig8_breakdown,
+    run_fig9_strong_scaling,
+    run_fig10_compute_comm,
+    run_fig11_comm_breakdown,
+    run_fig12_weak_scaling,
+    run_fig13_compute_comm_weak,
+    run_fig14_comm_breakdown_weak,
+    run_fig15_8socket,
+    run_fig16_convergence,
+    run_table1,
+    run_table2,
+)
+from repro.bench.convergence import scaled_mlperf
+from repro.bench.singlesocket import fig5_average_efficiency, fig7_speedups
+
+
+class TestTables:
+    def test_table1_schema(self):
+        rows = run_table1()
+        assert len(rows) == 3
+        assert {"config", "num_tables", "embedding_dim"} <= set(rows[0])
+
+    def test_table2_has_paper_columns(self):
+        rows = run_table2()
+        assert all("paper_allreduce_mb" in r for r in rows)
+
+
+class TestSingleSocketDrivers:
+    def test_fig5_covers_all_bars(self):
+        rows = run_fig5_mlp_kernels()
+        # 3 sizes x 3 passes x 3 impls = 27 bars, like the figure.
+        assert len(rows) == 27
+        avg = fig5_average_efficiency(rows)
+        assert set(avg) == {"this_work", "fb_mlp", "pytorch_mkl"}
+
+    def test_fig6_rows(self):
+        report, rows = run_fig6_overlap()
+        assert len(rows) == 2
+        assert report.ranks == 8
+
+    def test_fig7_covers_both_configs(self):
+        rows = run_fig7_single_socket()
+        assert len(rows) == 8
+        sp = fig7_speedups(rows)
+        assert sp["small"] > sp["mlperf"]
+
+    def test_fig8_bars_decompose(self):
+        for r in run_fig8_breakdown():
+            total = r["embeddings_ms"] + r["mlp_ms"] + r["rest_ms"]
+            assert total == pytest.approx(r["total_ms"], rel=1e-6)
+
+
+class TestScalingDrivers:
+    def test_fig9_restricted_config(self):
+        rows = run_fig9_strong_scaling(("small",))
+        assert {r["config"] for r in rows} == {"small"}
+        assert {r["variant"] for r in rows} == {
+            "ScatterList", "Fused Scatter", "Alltoall", "CCL Alltoall"
+        }
+
+    def test_fig10_modes_and_backends(self):
+        rows = run_fig10_compute_comm("large", ranks=[4, 8])
+        assert len(rows) == 2 * 2 * 2
+        assert all(r["compute_ms"] > 0 for r in rows)
+
+    def test_fig11_bucket_columns(self):
+        rows = run_fig11_comm_breakdown("large", ranks=[4])
+        for r in rows:
+            for col in (
+                "alltoall_framework_ms",
+                "allreduce_framework_ms",
+                "alltoall_wait_ms",
+                "allreduce_wait_ms",
+            ):
+                assert r[col] >= 0
+
+    def test_fig12_efficiency_bounded(self):
+        rows = run_fig12_weak_scaling(("small",))
+        assert all(0 < r["efficiency"] <= 1.2 for r in rows)
+
+    def test_fig13_loader_column(self):
+        rows = run_fig13_compute_comm_weak("mlperf", ranks=[2, 4])
+        assert all(r["loader_ms"] > 0 for r in rows)
+        rows_large = run_fig13_compute_comm_weak("large", ranks=[4])
+        assert all(r["loader_ms"] == 0 for r in rows_large)
+
+    def test_fig14_rows(self):
+        rows = run_fig14_comm_breakdown_weak("mlperf", ranks=[2, 4])
+        assert len(rows) == 2 * 2 * 2
+
+    def test_fig15_includes_single_socket(self):
+        rows = run_fig15_8socket(("small",))
+        assert [r["ranks"] for r in rows] == [1, 2, 4, 8]
+
+
+class TestConvergenceDriver:
+    def test_scaled_config_keeps_structure(self):
+        cfg = scaled_mlperf()
+        assert cfg.num_tables == 26
+        assert cfg.lookups_per_table == 1
+        assert max(cfg.table_rows) <= 2000
+        assert cfg.top_mlp[-1] == 1
+
+    def test_tiny_run_produces_curves(self):
+        curves = run_fig16_convergence(epoch_batches=4, eval_points=2, test_size=512)
+        assert len(curves.fp32) == 2
+        assert len(curves.bf16_split) == 2
+        assert len(curves.fp24) == 2
+        assert len(curves.bf16_nosplit) == 2
+        assert len(curves.rows()) == 2
+
+    def test_divisibility_validated(self):
+        with pytest.raises(ValueError):
+            run_fig16_convergence(epoch_batches=5, eval_points=2)

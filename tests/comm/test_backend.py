@@ -1,0 +1,62 @@
+"""Backend progress models: the MPI/CCL contrasts of Sect. IV-C."""
+
+import pytest
+
+from repro.comm.backend import BackendSpec, ccl_backend, local_backend, make_backend, mpi_backend
+
+
+class TestMpiBackend:
+    def test_single_thread_cannot_saturate(self):
+        assert mpi_backend().bw_factor < 1.0
+
+    def test_in_order_completion(self):
+        assert mpi_backend().in_order
+
+    def test_interferes_with_compute(self):
+        assert mpi_backend().compute_interference > 1.0
+
+    def test_no_dedicated_cores(self):
+        # The unpinned helper thread steals cycles instead.
+        assert mpi_backend().dedicated_cores == 0
+
+
+class TestCclBackend:
+    def test_pinned_workers_removed_from_compute(self):
+        assert ccl_backend().dedicated_cores == 4
+
+    def test_out_of_order(self):
+        assert not ccl_backend().in_order
+
+    def test_no_interference(self):
+        assert ccl_backend().compute_interference == 1.0
+
+    def test_higher_bandwidth_than_mpi(self):
+        assert ccl_backend().bw_factor > mpi_backend().bw_factor
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["mpi", "ccl", "local"])
+    def test_known_backends(self, name):
+        assert make_backend(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_backend("gloo")
+
+    def test_local_is_free(self):
+        b = local_backend()
+        assert b.call_overhead_s == 0.0 and b.dedicated_cores == 0
+
+
+class TestValidation:
+    def test_bw_factor_range(self):
+        with pytest.raises(ValueError):
+            BackendSpec("x", 0.0, 1.0, False, 0, 0.0)
+
+    def test_interference_at_least_one(self):
+        with pytest.raises(ValueError):
+            BackendSpec("x", 0.5, 0.5, False, 0, 0.0)
+
+    def test_dedicated_cores_nonnegative(self):
+        with pytest.raises(ValueError):
+            BackendSpec("x", 0.5, 1.0, False, -1, 0.0)

@@ -1,0 +1,75 @@
+"""DDP gradient reducer: in-place sums + framework cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.comm.ddp import DistributedDataParallelReducer
+from repro.parallel.cluster import SimCluster
+
+
+class TestAllreduceGrads:
+    def test_sums_in_place(self, rng):
+        cluster = SimCluster(3, backend="ccl")
+        reducer = DistributedDataParallelReducer(cluster)
+        grads = [
+            [rng.standard_normal((4, 3)).astype(np.float32), rng.standard_normal(5).astype(np.float32)]
+            for _ in range(3)
+        ]
+        want0 = np.sum([g[0] for g in grads], axis=0, dtype=np.float32)
+        want1 = np.sum([g[1] for g in grads], axis=0, dtype=np.float32)
+        handle = reducer.allreduce_grads(grads)
+        handle.wait_all()
+        for r in range(3):
+            np.testing.assert_allclose(grads[r][0], want0, rtol=1e-5)
+            np.testing.assert_allclose(grads[r][1], want1, rtol=1e-5)
+
+    def test_framework_cost_charged(self, rng):
+        cluster = SimCluster(2, backend="ccl")
+        reducer = DistributedDataParallelReducer(cluster)
+        grads = [[np.ones((2000, 2000), np.float32)] for _ in range(2)]
+        reducer.allreduce_grads(grads).wait_all()
+        assert cluster.profilers[0].get("comm.allreduce.framework") > 0
+        assert cluster.profilers[0].get("comm.allreduce.wait") > 0
+
+    def test_rank_count_validated(self, rng):
+        cluster = SimCluster(3, backend="ccl")
+        reducer = DistributedDataParallelReducer(cluster)
+        with pytest.raises(ValueError):
+            reducer.allreduce_grads([[np.zeros(2, np.float32)]] * 2)
+
+    def test_tensor_count_validated(self, rng):
+        cluster = SimCluster(2, backend="ccl")
+        reducer = DistributedDataParallelReducer(cluster)
+        with pytest.raises(ValueError):
+            reducer.allreduce_grads(
+                [[np.zeros(2, np.float32)], [np.zeros(2, np.float32), np.zeros(2, np.float32)]]
+            )
+
+    def test_preserves_views_into_parameters(self, rng):
+        """Layers keep references to their grad arrays; the reducer must
+        update those arrays, not replace them."""
+        cluster = SimCluster(2, backend="ccl")
+        reducer = DistributedDataParallelReducer(cluster)
+        a = np.ones(4, np.float32)
+        b = np.full(4, 2.0, np.float32)
+        alias_a = a
+        reducer.allreduce_grads([[a], [b]]).wait_all()
+        np.testing.assert_array_equal(alias_a, np.full(4, 3.0))
+
+
+class TestIssueTimed:
+    def test_charges_framework_and_issues(self):
+        cluster = SimCluster(4, backend="ccl", blocking=True)
+        reducer = DistributedDataParallelReducer(cluster)
+        reducer.issue_timed(10e6)
+        p = cluster.profilers[0]
+        assert p.get("comm.allreduce.framework") > 0
+        assert p.get("comm.allreduce.wait") > 0
+
+    def test_cost_scales_with_bytes(self):
+        def total(nbytes):
+            cluster = SimCluster(4, backend="ccl", blocking=True)
+            DistributedDataParallelReducer(cluster).issue_timed(nbytes)
+            return cluster.profilers[0].total("comm")
+
+        assert total(100e6) > 5 * total(10e6)

@@ -1,0 +1,105 @@
+"""Ring collectives: correctness + the bandwidth-optimality invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.collectives import allreduce_sum, reduce_scatter_sum
+from repro.comm.ring import RingTrace, ring_allgather, ring_allreduce, ring_reduce_scatter
+
+
+def bufs(rng, r, rows=12, cols=3):
+    return [rng.standard_normal((rows, cols)).astype(np.float32) for _ in range(r)]
+
+
+class TestRingReduceScatter:
+    @given(st.integers(1, 8), st.integers(1, 20), st.integers(0, 999))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_direct_semantics(self, r, rows, seed):
+        rng = np.random.default_rng(seed)
+        b = bufs(rng, r, rows=rows)
+        ring = ring_reduce_scatter(b)
+        direct = reduce_scatter_sum(b)
+        assert len(ring) == len(direct)
+        for a, d in zip(ring, direct):
+            np.testing.assert_allclose(a, d, rtol=1e-5, atol=1e-6)
+
+    def test_trace_counts_r_minus_1_steps(self, rng):
+        t = RingTrace()
+        ring_reduce_scatter(bufs(rng, 5), t)
+        assert t.steps == 4
+
+    def test_each_rank_sends_fraction_of_buffer(self, rng):
+        """The defining property: (R-1)/R of the buffer per rank."""
+        r, rows = 4, 16
+        b = bufs(rng, r, rows=rows)
+        t = RingTrace()
+        ring_reduce_scatter(b, t)
+        expected = b[0].nbytes * (r - 1) / r
+        for sent in t.bytes_sent:
+            assert sent == pytest.approx(expected, rel=1e-6)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            ring_reduce_scatter([np.zeros((2, 2)), np.zeros((3, 2))])
+
+    def test_single_rank(self, rng):
+        b = bufs(rng, 1)
+        out = ring_reduce_scatter(b)
+        np.testing.assert_array_equal(out[0], b[0])
+
+
+class TestRingAllgather:
+    @given(st.integers(1, 8), st.integers(0, 999))
+    @settings(max_examples=40, deadline=None)
+    def test_every_rank_assembles_everything(self, r, seed):
+        rng = np.random.default_rng(seed)
+        chunks = [rng.standard_normal((i + 1, 2)).astype(np.float32) for i in range(r)]
+        out = ring_allgather(chunks)
+        want = np.concatenate(chunks)
+        for o in out:
+            np.testing.assert_array_equal(o, want)
+
+    def test_bytes_sent_bound(self, rng):
+        chunks = [rng.standard_normal((4, 2)).astype(np.float32) for _ in range(4)]
+        t = RingTrace()
+        ring_allgather(chunks, t)
+        # Each rank forwards R-1 chunks.
+        for sent in t.bytes_sent:
+            assert sent == pytest.approx(3 * chunks[0].nbytes)
+
+
+class TestRingAllreduce:
+    @given(st.integers(1, 8), st.integers(1, 24), st.integers(0, 999))
+    @settings(max_examples=50, deadline=None)
+    def test_equals_direct_allreduce(self, r, rows, seed):
+        rng = np.random.default_rng(seed)
+        b = bufs(rng, r, rows=rows)
+        ring = ring_allreduce(b)
+        direct = allreduce_sum(b)
+        for a, d in zip(ring, direct):
+            np.testing.assert_allclose(a, d, rtol=1e-5, atol=1e-6)
+
+    def test_bandwidth_optimality(self, rng):
+        """Total transmitted per rank = 2 (R-1)/R * nbytes -- the bound
+        the cost model's allreduce time is built on."""
+        r = 8
+        b = bufs(rng, r, rows=r * 4)  # divisible chunks
+        t = RingTrace()
+        ring_allreduce(b, t)
+        expected = 2 * (r - 1) / r * b[0].nbytes
+        for sent in t.bytes_sent:
+            assert sent == pytest.approx(expected, rel=1e-6)
+
+    def test_total_steps(self, rng):
+        t = RingTrace()
+        ring_allreduce(bufs(rng, 6), t)
+        assert t.steps == 2 * 5
+
+    def test_uneven_chunking_still_exact(self, rng):
+        b = bufs(rng, 3, rows=7)  # 7 rows over 3 ranks
+        ring = ring_allreduce(b)
+        want = np.sum(b, axis=0, dtype=np.float32)
+        for o in ring:
+            np.testing.assert_allclose(o, want, rtol=1e-5)

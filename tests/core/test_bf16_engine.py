@@ -1,0 +1,61 @@
+"""The emulated-vdpbf16ps MLP engine (paper Sect. VII outlook)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mlp import MLP, FullyConnected
+from repro.core.model import DLRM
+from repro.core.optim import SGD, SplitSGD
+from tests.conftest import random_batch, tiny_config
+
+
+class TestBf16Engine:
+    def test_forward_close_to_fp32(self, rng):
+        ref = FullyConnected(16, 8, rng=np.random.default_rng(1), activation=None)
+        b16 = FullyConnected(16, 8, rng=np.random.default_rng(1), engine="bf16", activation=None)
+        x = rng.standard_normal((12, 16)).astype(np.float32)
+        y_ref = ref.forward(x)
+        y_b16 = b16.forward(x)
+        # BF16 inputs have ~3 decimal digits: relative error ~1e-2.
+        np.testing.assert_allclose(y_b16, y_ref, rtol=0.05, atol=0.05)
+        assert not np.array_equal(y_b16, y_ref)  # it really quantises
+
+    def test_backward_close_to_fp32(self, rng):
+        ref = FullyConnected(10, 6, rng=np.random.default_rng(2), activation="relu")
+        b16 = FullyConnected(10, 6, rng=np.random.default_rng(2), engine="bf16", activation="relu")
+        x = rng.standard_normal((8, 10)).astype(np.float32)
+        dy = rng.standard_normal((8, 6)).astype(np.float32)
+        ref.forward(x)
+        b16.forward(x)
+        dx_ref = ref.backward(dy)
+        dx_b16 = b16.backward(dy)
+        np.testing.assert_allclose(dx_b16, dx_ref, rtol=0.1, atol=0.05)
+        np.testing.assert_allclose(b16.weight.grad, ref.weight.grad, rtol=0.1, atol=0.05)
+
+    def test_full_bf16_dlrm_trains(self):
+        """Split-BF16 tables + BF16 MLP datapath + Split-SGD: the paper's
+        full Cooper Lake picture, converging like FP32."""
+        cfg = tiny_config()
+        batch = random_batch(cfg, 32)
+        model = DLRM(cfg, seed=0, engine="bf16", storage="split_bf16")
+        opt = SplitSGD(lr=0.05)
+        opt.register(model.parameters())
+        losses = [model.train_step(batch, opt) for _ in range(25)]
+        assert losses[-1] < losses[0] * 0.92
+
+    def test_bf16_loss_tracks_fp32(self):
+        cfg = tiny_config()
+        batch = random_batch(cfg, 32)
+        fp32 = DLRM(cfg, seed=3)
+        b16 = DLRM(cfg, seed=3, engine="bf16", storage="split_bf16")
+        opt32 = SGD(lr=0.05)
+        opt16 = SplitSGD(lr=0.05)
+        opt16.register(b16.parameters())
+        l32 = [fp32.train_step(batch, opt32) for _ in range(8)]
+        l16 = [b16.train_step(batch, opt16) for _ in range(8)]
+        np.testing.assert_allclose(l16, l32, rtol=0.1)
+
+    def test_mlp_stack_supports_engine(self, rng):
+        mlp = MLP(8, (6, 4), rng=rng, engine="bf16")
+        y = mlp.forward(rng.standard_normal((4, 8)).astype(np.float32))
+        assert y.shape == (4, 4)

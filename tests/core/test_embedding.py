@@ -1,0 +1,203 @@
+"""EmbeddingBag forward/backward (Algorithms 1-2) against naive loops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bf16 import quantize_bf16
+from repro.core.embedding import (
+    EmbeddingBag,
+    SparseGrad,
+    SplitEmbeddingBag,
+    segment_sum,
+)
+
+
+def naive_forward(w, indices, offsets):
+    """Literal Algorithm 1."""
+    n = len(offsets) - 1
+    y = np.zeros((n, w.shape[1]), dtype=np.float32)
+    for b in range(n):
+        for s in range(offsets[b], offsets[b + 1]):
+            y[b] += w[indices[s]]
+    return y
+
+
+def make_lookup(rng, rows, n, max_len=5, allow_empty=True):
+    lengths = rng.integers(0 if allow_empty else 1, max_len + 1, size=n)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    indices = rng.integers(0, rows, size=int(offsets[-1]), dtype=np.int64)
+    return indices, offsets
+
+
+class TestSegmentSum:
+    def test_equal_length_fast_path(self, rng):
+        rows = rng.standard_normal((12, 4)).astype(np.float32)
+        offsets = np.array([0, 3, 6, 9, 12])
+        out = segment_sum(rows, offsets)
+        np.testing.assert_allclose(out[1], rows[3:6].sum(axis=0), rtol=1e-6)
+
+    def test_ragged_with_empty_bags(self, rng):
+        rows = rng.standard_normal((5, 3)).astype(np.float32)
+        offsets = np.array([0, 0, 2, 2, 5])
+        out = segment_sum(rows, offsets)
+        assert np.array_equal(out[0], np.zeros(3, np.float32))
+        assert np.array_equal(out[2], np.zeros(3, np.float32))
+        np.testing.assert_allclose(out[3], rows[2:5].sum(axis=0), rtol=1e-6)
+
+    def test_rejects_decreasing_offsets(self, rng):
+        rows = rng.standard_normal((4, 2)).astype(np.float32)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            segment_sum(rows, np.array([0, 3, 2, 4]))
+
+    def test_rejects_bad_span(self, rng):
+        rows = rng.standard_normal((4, 2)).astype(np.float32)
+        with pytest.raises(ValueError, match="span"):
+            segment_sum(rows, np.array([0, 2, 3]))
+
+
+class TestForward:
+    @given(st.integers(1, 40), st.integers(1, 12), st.integers(0, 1_000_000))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive_algorithm1(self, rows, n, seed):
+        rng = np.random.default_rng(seed)
+        table = EmbeddingBag(rows, 6, rng=rng)
+        indices, offsets = make_lookup(rng, rows, n)
+        got = table.forward(indices, offsets)
+        want = naive_forward(table.weight, indices, offsets)
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+
+    def test_fixed_length_bags(self, rng):
+        table = EmbeddingBag(100, 8, rng=rng)
+        indices = rng.integers(0, 100, size=4 * 7, dtype=np.int64)
+        offsets = np.arange(0, 29, 7)
+        got = table.forward(indices, offsets)
+        want = naive_forward(table.weight, indices, offsets)
+        np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+
+    def test_out_of_range_index_raises(self, rng):
+        table = EmbeddingBag(10, 4, rng=rng)
+        with pytest.raises(IndexError):
+            table.forward(np.array([10]), np.array([0, 1]))
+        with pytest.raises(IndexError):
+            table.forward(np.array([-1]), np.array([0, 1]))
+
+    def test_init_bound_scales_with_rows(self):
+        t = EmbeddingBag(10_000, 16, rng=np.random.default_rng(0))
+        assert np.abs(t.weight).max() <= np.sqrt(1.0 / 10_000) + 1e-7
+
+    def test_explicit_weight(self):
+        w = np.arange(12, dtype=np.float32).reshape(3, 4)
+        t = EmbeddingBag(3, 4, weight=w)
+        out = t.forward(np.array([0, 2]), np.array([0, 2]))
+        np.testing.assert_array_equal(out[0], w[0] + w[2])
+
+    def test_weight_shape_validated(self):
+        with pytest.raises(ValueError):
+            EmbeddingBag(3, 4, weight=np.zeros((4, 3), np.float32))
+
+
+class TestBackward:
+    def test_each_lookup_gets_bag_gradient(self, rng):
+        table = EmbeddingBag(20, 4, rng=rng)
+        indices = np.array([3, 7, 7, 1])
+        offsets = np.array([0, 2, 4])
+        dy = rng.standard_normal((2, 4)).astype(np.float32)
+        grad = table.backward(dy, indices, offsets)
+        assert np.array_equal(grad.indices, indices)
+        np.testing.assert_array_equal(grad.values[0], dy[0])
+        np.testing.assert_array_equal(grad.values[1], dy[0])
+        np.testing.assert_array_equal(grad.values[2], dy[1])
+        np.testing.assert_array_equal(grad.values[3], dy[1])
+
+    def test_empty_bags_produce_no_rows(self, rng):
+        table = EmbeddingBag(20, 4, rng=rng)
+        grad = table.backward(
+            rng.standard_normal((3, 4)).astype(np.float32),
+            np.array([5]),
+            np.array([0, 0, 1, 1]),
+        )
+        assert grad.nnz == 1
+
+    def test_grad_then_fwd_consistency(self, rng):
+        """d(sum(Y))/dW scattered back equals ones in every looked-up row."""
+        table = EmbeddingBag(10, 3, rng=rng)
+        indices, offsets = make_lookup(rng, 10, 6, allow_empty=False)
+        dy = np.ones((6, 3), dtype=np.float32)
+        grad = table.backward(dy, indices, offsets)
+        dense = np.zeros((10, 3), dtype=np.float32)
+        np.add.at(dense, grad.indices, grad.values)
+        counts = np.bincount(indices, minlength=10).astype(np.float32)
+        np.testing.assert_allclose(dense[:, 0], counts)
+
+
+class TestSparseGrad:
+    def test_aggregated_folds_duplicates(self):
+        g = SparseGrad(
+            np.array([2, 2, 5]),
+            np.array([[1.0, 0.0], [3.0, 1.0], [2.0, 2.0]], dtype=np.float32),
+        )
+        uniq, agg = g.aggregated()
+        assert np.array_equal(uniq, [2, 5])
+        np.testing.assert_array_equal(agg[0], [4.0, 1.0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SparseGrad(np.array([1, 2]), np.zeros((3, 4), np.float32))
+
+    def test_scaled(self):
+        g = SparseGrad(np.array([0]), np.ones((1, 2), np.float32))
+        assert np.array_equal(g.scaled(2.0).values, [[2.0, 2.0]])
+
+
+class TestSplitEmbeddingBag:
+    def test_dense_weight_is_bf16_of_master(self, rng):
+        t = SplitEmbeddingBag(50, 8, rng=rng)
+        master = t.master_weight()
+        # hi is the *truncation* of the master to 16 bits.
+        hi_widened = t.dense_weight()
+        err = np.abs(hi_widened - master)
+        assert np.all(err <= 2.0 ** (np.floor(np.log2(np.abs(master) + 1e-30)) - 7))
+
+    def test_forward_uses_bf16_half(self, rng):
+        w = rng.standard_normal((10, 4)).astype(np.float32)
+        t = SplitEmbeddingBag(10, 4, weight=w)
+        idx = np.arange(10)
+        off = np.arange(11)
+        got = t.forward(idx, off)
+        np.testing.assert_array_equal(got, t.dense_weight())
+
+    def test_update_is_fp32_accurate(self, rng):
+        """The split update must match an FP32 table's update on the
+        master weights exactly (that is the whole point of Split-SGD)."""
+        w = rng.standard_normal((20, 4)).astype(np.float32)
+        split = SplitEmbeddingBag(20, 4, weight=w)
+        idx = np.array([3, 3, 7])
+        deltas = rng.standard_normal((3, 4)).astype(np.float32)
+        split.scatter_add_rows(idx, deltas)
+        ref = w.copy()
+        np.add.at(ref, idx, deltas)
+        np.testing.assert_allclose(split.master_weight(), ref, rtol=1e-6, atol=1e-7)
+
+    def test_lo_bits_8_quantises_state(self, rng):
+        t = SplitEmbeddingBag(10, 4, rng=rng, lo_bits=8)
+        assert not (t.lo & np.uint16(0x00FF)).any()
+
+    def test_capacity_equals_fp32(self, rng):
+        """Split storage needs no master copy: 4 bytes/element total."""
+        fp32 = EmbeddingBag(100, 8, rng=rng)
+        split = SplitEmbeddingBag(100, 8, rng=rng)
+        assert split.capacity_bytes() == fp32.capacity_bytes()
+
+    def test_rejects_bad_lo_bits(self):
+        with pytest.raises(ValueError):
+            SplitEmbeddingBag(4, 4, lo_bits=17)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("rows,dim", [(0, 4), (4, 0), (-1, 4)])
+    def test_rejects_bad_shape(self, rows, dim):
+        with pytest.raises(ValueError):
+            EmbeddingBag(rows, dim)

@@ -1,0 +1,136 @@
+"""BCE loss gradients and the from-scratch ROC AUC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.loss import BCEWithLogitsLoss
+from repro.core.metrics import accuracy, log_loss, roc_auc
+
+
+class TestBCEWithLogits:
+    def test_matches_naive_formula(self, rng):
+        z = rng.standard_normal(20).astype(np.float32)
+        y = rng.integers(0, 2, 20).astype(np.float32)
+        loss = BCEWithLogitsLoss().forward(z, y)
+        p = 1.0 / (1.0 + np.exp(-z.astype(np.float64)))
+        want = -np.mean(y * np.log(p) + (1 - y) * np.log(1 - p))
+        assert loss == pytest.approx(want, rel=1e-5)
+
+    def test_stable_at_large_logits(self):
+        z = np.array([80.0, -80.0], dtype=np.float32)
+        y = np.array([1.0, 0.0], dtype=np.float32)
+        assert BCEWithLogitsLoss().forward(z, y) == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradient_matches_finite_differences(self):
+        rng = np.random.default_rng(3)
+        z = rng.standard_normal(10).astype(np.float32)
+        y = rng.integers(0, 2, 10).astype(np.float32)
+        loss_fn = BCEWithLogitsLoss()
+        loss_fn.forward(z, y)
+        grad = loss_fn.backward().ravel()
+        eps = 1e-3
+        for i in range(10):
+            zp, zm = z.copy(), z.copy()
+            zp[i] += eps
+            zm[i] -= eps
+            num = (
+                BCEWithLogitsLoss().forward(zp, y) - BCEWithLogitsLoss().forward(zm, y)
+            ) / (2 * eps)
+            assert grad[i] == pytest.approx(num, rel=2e-2, abs=1e-4)
+
+    def test_custom_normalizer_scales_gradient(self, rng):
+        z = rng.standard_normal(8).astype(np.float32)
+        y = rng.integers(0, 2, 8).astype(np.float32)
+        a = BCEWithLogitsLoss()
+        a.forward(z, y, normalizer=8)
+        b = BCEWithLogitsLoss()
+        b.forward(z, y, normalizer=16)
+        np.testing.assert_allclose(a.backward(), 2 * b.backward(), rtol=1e-6)
+
+    def test_distributed_normalizer_sums_to_global_loss(self, rng):
+        """Shard losses normalised by GN sum to the global mean loss."""
+        z = rng.standard_normal(12).astype(np.float32)
+        y = rng.integers(0, 2, 12).astype(np.float32)
+        full = BCEWithLogitsLoss().forward(z, y)
+        parts = sum(
+            BCEWithLogitsLoss().forward(z[i : i + 4], y[i : i + 4], normalizer=12)
+            for i in (0, 4, 8)
+        )
+        assert parts == pytest.approx(full, rel=1e-6)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            BCEWithLogitsLoss().backward()
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BCEWithLogitsLoss().forward(np.zeros(3, np.float32), np.zeros(4, np.float32))
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(y, s) == 1.0
+
+    def test_inverted_ranking(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc(y, s) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 5000)
+        s = rng.random(5000)
+        assert roc_auc(y, s) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_use_midranks(self):
+        y = np.array([0, 1, 0, 1])
+        s = np.array([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc(y, s) == pytest.approx(0.5)
+
+    def test_matches_brute_force_pair_counting(self, rng):
+        y = rng.integers(0, 2, 60)
+        y[0], y[1] = 0, 1  # ensure both classes
+        s = rng.random(60)
+        pos = s[y == 1]
+        neg = s[y == 0]
+        wins = (pos[:, None] > neg[None, :]).sum() + 0.5 * (
+            pos[:, None] == neg[None, :]
+        ).sum()
+        assert roc_auc(y, s) == pytest.approx(wins / (len(pos) * len(neg)), rel=1e-9)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.ones(5), np.random.rand(5))
+
+    @given(
+        hnp.arrays(np.float64, st.integers(4, 50), elements=st.floats(0, 1)),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_auc_invariant_under_monotone_transform(self, s, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, s.size)
+        if y.min() == y.max():
+            y[0] = 1 - y[0]
+        a = roc_auc(y, s)
+        b = roc_auc(y, 4.0 * s)  # strictly increasing, precision-exact map
+        assert a == pytest.approx(b, abs=1e-12)
+
+
+class TestOtherMetrics:
+    def test_accuracy(self):
+        y = np.array([1, 0, 1, 0])
+        p = np.array([0.9, 0.1, 0.4, 0.6])
+        assert accuracy(y, p) == 0.5
+
+    def test_log_loss_clips(self):
+        assert np.isfinite(log_loss(np.array([1.0]), np.array([0.0])))
+
+    def test_log_loss_perfect(self):
+        y = np.array([1.0, 0.0])
+        assert log_loss(y, np.array([1.0, 0.0])) == pytest.approx(0.0, abs=1e-5)

@@ -1,0 +1,178 @@
+"""MLP layers: gradients vs. finite differences; blocked == reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mlp import MLP, FullyConnected, relu, relu_grad, sigmoid
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0], dtype=np.float32)
+        np.testing.assert_array_equal(relu(x), [0.0, 0.0, 2.0])
+
+    def test_relu_grad_gates_on_output(self):
+        y = np.array([0.0, 3.0], dtype=np.float32)
+        dy = np.array([5.0, 5.0], dtype=np.float32)
+        np.testing.assert_array_equal(relu_grad(dy, y), [0.0, 5.0])
+
+    def test_sigmoid_stable_at_extremes(self):
+        x = np.array([-100.0, 0.0, 100.0], dtype=np.float32)
+        s = sigmoid(x)
+        assert s[0] == pytest.approx(0.0, abs=1e-30)
+        assert s[1] == pytest.approx(0.5)
+        assert s[2] == pytest.approx(1.0)
+
+    @given(st.floats(-30, 30))
+    @settings(max_examples=50, deadline=None)
+    def test_sigmoid_matches_definition(self, v):
+        got = sigmoid(np.array([v], dtype=np.float32))[0]
+        want = 1.0 / (1.0 + np.exp(-v))
+        assert got == pytest.approx(want, rel=1e-5)
+
+
+class TestFullyConnectedForward:
+    def test_linear_algebra(self, rng):
+        fc = FullyConnected(4, 3, rng=rng, activation=None)
+        x = rng.standard_normal((5, 4)).astype(np.float32)
+        np.testing.assert_allclose(
+            fc.forward(x), x @ fc.weight.value.T + fc.bias.value, rtol=1e-5
+        )
+
+    def test_relu_applied(self, rng):
+        fc = FullyConnected(4, 3, rng=rng, activation="relu")
+        y = fc.forward(rng.standard_normal((8, 4)).astype(np.float32))
+        assert (y >= 0).all()
+
+    def test_input_shape_validated(self, rng):
+        fc = FullyConnected(4, 3, rng=rng)
+        with pytest.raises(ValueError):
+            fc.forward(np.zeros((5, 7), np.float32))
+
+    def test_rejects_unknown_activation(self, rng):
+        with pytest.raises(ValueError):
+            FullyConnected(4, 3, rng=rng, activation="gelu")
+
+    def test_flop_counter_tracks_gemm(self, rng):
+        fc = FullyConnected(4, 3, rng=rng, activation=None)
+        fc.forward(np.zeros((10, 4), np.float32))
+        assert fc.flops.flops == 2 * 10 * 3 * 4
+
+
+def numeric_grad(f, x, eps=1e-3):
+    g = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        old = x[i]
+        x[i] = old + eps
+        up = f()
+        x[i] = old - eps
+        down = f()
+        x[i] = old
+        g[i] = (up - down) / (2 * eps)
+        it.iternext()
+    return g
+
+
+class TestGradients:
+    @pytest.mark.parametrize("activation", [None, "relu", "sigmoid"])
+    def test_weight_bias_input_grads_match_finite_differences(self, activation):
+        rng = np.random.default_rng(7)
+        fc = FullyConnected(5, 4, rng=rng, activation=activation)
+        x = rng.standard_normal((6, 5)).astype(np.float32)
+        # loss = sum(y * target) for a fixed random target.
+        target = rng.standard_normal((6, 4)).astype(np.float32)
+
+        def loss():
+            return float((fc.forward(x.copy()) * target).sum())
+
+        loss()  # populate caches
+        dx = fc.backward(target)
+        dw_num = numeric_grad(loss, fc.weight.value)
+        db_num = numeric_grad(loss, fc.bias.value)
+        dx_num = numeric_grad(loss, x)
+        np.testing.assert_allclose(fc.weight.grad, dw_num, rtol=2e-2, atol=2e-3)
+        np.testing.assert_allclose(fc.bias.grad, db_num, rtol=2e-2, atol=2e-3)
+        np.testing.assert_allclose(dx, dx_num, rtol=2e-2, atol=2e-3)
+
+    def test_backward_before_forward_raises(self, rng):
+        fc = FullyConnected(3, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            fc.backward(np.zeros((1, 2), np.float32))
+
+    def test_grads_accumulate_across_backwards(self, rng):
+        fc = FullyConnected(3, 2, rng=rng, activation=None)
+        x = rng.standard_normal((4, 3)).astype(np.float32)
+        dy = rng.standard_normal((4, 2)).astype(np.float32)
+        fc.forward(x)
+        fc.backward(dy)
+        g1 = fc.weight.grad.copy()
+        fc.forward(x)
+        fc.backward(dy)
+        np.testing.assert_allclose(fc.weight.grad, 2 * g1, rtol=1e-5)
+
+
+class TestBlockedEngine:
+    @pytest.mark.parametrize("n,c,k", [(16, 12, 8), (8, 8, 8), (24, 10, 6)])
+    def test_forward_matches_reference(self, n, c, k):
+        rng = np.random.default_rng(3)
+        ref = FullyConnected(c, k, rng=np.random.default_rng(3), engine="reference", activation=None)
+        blk = FullyConnected(c, k, rng=np.random.default_rng(3), engine="blocked", activation=None)
+        np.testing.assert_array_equal(ref.weight.value, blk.weight.value)
+        x = rng.standard_normal((n, c)).astype(np.float32)
+        np.testing.assert_allclose(ref.forward(x), blk.forward(x), rtol=1e-5, atol=1e-6)
+
+    def test_backward_matches_reference(self):
+        rng = np.random.default_rng(5)
+        ref = FullyConnected(12, 8, rng=np.random.default_rng(5), engine="reference", activation="relu")
+        blk = FullyConnected(12, 8, rng=np.random.default_rng(5), engine="blocked", activation="relu")
+        x = rng.standard_normal((16, 12)).astype(np.float32)
+        dy = rng.standard_normal((16, 8)).astype(np.float32)
+        ref.forward(x)
+        blk.forward(x)
+        dx_ref = ref.backward(dy)
+        dx_blk = blk.backward(dy)
+        np.testing.assert_allclose(dx_ref, dx_blk, rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(ref.weight.grad, blk.weight.grad, rtol=1e-4, atol=1e-5)
+        np.testing.assert_allclose(ref.bias.grad, blk.bias.grad, rtol=1e-4, atol=1e-5)
+
+    def test_rejects_unknown_engine(self, rng):
+        with pytest.raises(ValueError):
+            FullyConnected(4, 4, rng=rng, engine="cuda")
+
+
+class TestMLP:
+    def test_stack_shapes(self, rng):
+        mlp = MLP(10, (8, 6, 1), rng=rng)
+        y = mlp.forward(rng.standard_normal((4, 10)).astype(np.float32))
+        assert y.shape == (4, 1)
+        assert mlp.in_features == 10 and mlp.out_features == 1
+
+    def test_hidden_layers_use_relu_last_configurable(self, rng):
+        mlp = MLP(5, (4, 3), rng=rng, last_activation=None)
+        assert mlp.layers[0].activation == "relu"
+        assert mlp.layers[1].activation is None
+
+    def test_backward_returns_input_grad(self, rng):
+        mlp = MLP(5, (4, 2), rng=rng, last_activation=None)
+        x = rng.standard_normal((3, 5)).astype(np.float32)
+        mlp.forward(x)
+        dx = mlp.backward(np.ones((3, 2), np.float32))
+        assert dx.shape == x.shape
+
+    def test_parameters_and_zero_grad(self, rng):
+        mlp = MLP(5, (4, 2), rng=rng)
+        assert len(mlp.parameters()) == 4  # 2 layers x (W, b)
+        x = rng.standard_normal((3, 5)).astype(np.float32)
+        mlp.forward(x)
+        mlp.backward(np.ones((3, 2), np.float32))
+        assert all(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+    def test_empty_layer_list_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MLP(5, (), rng=rng)

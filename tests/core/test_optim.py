@@ -1,0 +1,165 @@
+"""Optimizers: SGD, Split-SGD-BF16 (Sect. VII) and master-weight SGD."""
+
+import numpy as np
+import pytest
+
+from repro.core.bf16 import combine_fp32, quantize_bf16, split_fp32
+from repro.core.optim import SGD, MasterWeightSGD, SplitSGD
+from repro.core.param import Parameter
+
+
+def make_param(rng, shape=(6, 4)):
+    return Parameter(rng.standard_normal(shape).astype(np.float32))
+
+
+class TestSGD:
+    def test_dense_step(self, rng):
+        p = make_param(rng)
+        g = rng.standard_normal(p.shape).astype(np.float32)
+        before = p.value.copy()
+        p.accumulate_grad(g)
+        SGD(lr=0.1).step_dense([p])
+        np.testing.assert_allclose(p.value, before - 0.1 * g, rtol=1e-6)
+        assert p.grad is None  # grad cleared after step
+
+    def test_skips_params_without_grad(self, rng):
+        p = make_param(rng)
+        before = p.value.copy()
+        SGD(lr=0.1).step_dense([p])
+        np.testing.assert_array_equal(p.value, before)
+
+    def test_rejects_nonpositive_lr(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+
+    def test_default_strategy_is_racefree(self):
+        assert SGD(lr=0.1).strategy.cost_key == "racefree"
+
+
+class TestSplitSGD:
+    def test_register_quantises_model_weights(self, rng):
+        p = make_param(rng)
+        original = p.value.copy()
+        opt = SplitSGD(lr=0.1)
+        opt.register([p])
+        hi, _ = split_fp32(original)
+        # Model tensor now holds exactly the truncated BF16 half.
+        np.testing.assert_array_equal(p.value, combine_fp32(hi, np.zeros_like(hi)))
+        # ... while the master is still reconstructible bit-for-bit.
+        np.testing.assert_array_equal(opt.master_value(p), original)
+
+    def test_update_is_fp32_accurate(self, rng):
+        """Split-SGD's master trajectory must equal plain FP32 SGD."""
+        w0 = rng.standard_normal((5, 3)).astype(np.float32)
+        p_ref = Parameter(w0.copy())
+        p_split = Parameter(w0.copy())
+        opt = SplitSGD(lr=0.05)
+        opt.register([p_split])
+        ref_master = w0.copy()
+        for step in range(20):
+            g = np.random.default_rng(step).standard_normal((5, 3)).astype(np.float32)
+            p_split.accumulate_grad(g)
+            opt.step_dense([p_split])
+            ref_master -= np.float32(0.05) * g
+        np.testing.assert_array_equal(opt.master_value(p_split), ref_master)
+
+    def test_small_updates_not_lost(self):
+        """The classic mixed-precision failure: updates below the BF16 ULP
+        vanish without master accumulation.  Split-SGD keeps them."""
+        p = Parameter(np.array([1.0], dtype=np.float32))
+        opt = SplitSGD(lr=1.0)
+        opt.register([p])
+        tiny = np.array([2.0**-12], dtype=np.float32)  # < BF16 ULP at 1.0
+        for _ in range(1024):
+            p.accumulate_grad(-tiny)  # push upward
+            opt.step_dense([p])
+        # 1024 * 2^-12 = 0.25 accumulated exactly in the master.
+        assert opt.master_value(p)[0] == pytest.approx(1.25, rel=1e-6)
+        assert p.value[0] >= np.float32(1.242)  # visible in BF16 too
+
+    def test_fp24_loses_small_updates(self):
+        """With only 8 extra LSBs (the FP24 ablation), sub-ULP updates
+        accumulate with visible quantisation error."""
+        p16 = Parameter(np.array([1.0], dtype=np.float32))
+        p8 = Parameter(np.array([1.0], dtype=np.float32))
+        full = SplitSGD(lr=1.0, lo_bits=16)
+        fp24 = SplitSGD(lr=1.0, lo_bits=8)
+        full.register([p16])
+        fp24.register([p8])
+        tiny = np.array([2.0**-20], dtype=np.float32)
+        for _ in range(256):
+            p16.accumulate_grad(-tiny)
+            p8.accumulate_grad(-tiny)
+            full.step_dense([p16])
+            fp24.step_dense([p8])
+        full_gain = full.master_value(p16)[0] - 1.0
+        fp24_gain = fp24.master_value(p8)[0] - 1.0
+        assert full_gain == pytest.approx(256 * 2.0**-20, rel=1e-6)
+        assert fp24_gain < full_gain  # FP24 dropped part of the signal
+
+    def test_unregistered_param_raises(self, rng):
+        p = make_param(rng)
+        p.accumulate_grad(np.ones(p.shape, np.float32))
+        with pytest.raises(RuntimeError, match="not registered"):
+            SplitSGD(lr=0.1).step_dense([p])
+
+    def test_state_bytes_is_two_per_element(self, rng):
+        p = make_param(rng, (10, 10))
+        opt = SplitSGD(lr=0.1)
+        opt.register([p])
+        assert opt.state_bytes([p]) == 200
+
+    def test_name_reflects_lo_bits(self):
+        assert SplitSGD(lr=0.1).name == "split-sgd-bf16"
+        assert SplitSGD(lr=0.1, lo_bits=8).name == "split-sgd-fp24"
+
+
+class TestMasterWeightSGD:
+    def test_model_weights_track_quantised_master(self, rng):
+        p = make_param(rng)
+        opt = MasterWeightSGD(lr=0.1)
+        opt.register([p])
+        g = rng.standard_normal(p.shape).astype(np.float32)
+        p.accumulate_grad(g)
+        opt.step_dense([p])
+        master = opt._master[id(p)]
+        np.testing.assert_array_equal(p.value, quantize_bf16(master))
+
+    def test_state_bytes_is_four_per_element(self, rng):
+        """The capacity overhead Split-SGD eliminates: a full FP32 copy."""
+        p = make_param(rng, (10, 10))
+        opt = MasterWeightSGD(lr=0.1)
+        opt.register([p])
+        assert opt.state_bytes([p]) == 400
+        assert opt.state_bytes([p]) == 2 * SplitSGD(lr=0.1).state_bytes([p]) * 1.0
+
+    def test_trajectory_close_to_split_sgd(self, rng):
+        """Both mixed-precision schemes keep FP32-exact masters, so their
+        trajectories are identical; only storage differs."""
+        w0 = rng.standard_normal((4, 4)).astype(np.float32)
+        pa, pb = Parameter(w0.copy()), Parameter(w0.copy())
+        a = SplitSGD(lr=0.02)
+        b = MasterWeightSGD(lr=0.02)
+        a.register([pa])
+        b.register([pb])
+        for step in range(10):
+            g = np.random.default_rng(100 + step).standard_normal((4, 4)).astype(np.float32)
+            pa.accumulate_grad(g)
+            pb.accumulate_grad(g)
+            a.step_dense([pa])
+            b.step_dense([pb])
+        np.testing.assert_array_equal(a.master_value(pa), b._master[id(pb)])
+
+
+class TestParameter:
+    def test_accumulate_validates_shape(self, rng):
+        p = make_param(rng)
+        with pytest.raises(ValueError):
+            p.accumulate_grad(np.zeros((1, 1), np.float32))
+
+    def test_accumulate_adds(self, rng):
+        p = make_param(rng)
+        g = np.ones(p.shape, np.float32)
+        p.accumulate_grad(g)
+        p.accumulate_grad(g)
+        np.testing.assert_array_equal(p.grad, 2 * g)

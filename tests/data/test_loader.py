@@ -1,0 +1,96 @@
+"""Data loaders, incl. the paper's global-minibatch flaw (Sect. VI-D2)."""
+
+import numpy as np
+import pytest
+
+from repro.data.loader import DataLoader, GlobalBatchLoader, ShardedLoader
+from repro.data.synthetic import RandomRecDataset
+from tests.conftest import tiny_config
+
+
+class TestDataLoader:
+    def test_sequential_batches(self):
+        cfg = tiny_config()
+        dl = DataLoader(RandomRecDataset(cfg, 0), batch_size=8)
+        a = next(dl)
+        b = next(dl)
+        assert a.size == b.size == 8
+        assert not np.array_equal(a.dense, b.dense)
+
+    def test_take(self):
+        cfg = tiny_config()
+        dl = DataLoader(RandomRecDataset(cfg, 0), batch_size=4)
+        assert len(dl.take(5)) == 5
+
+    def test_start_index_resumes(self):
+        cfg = tiny_config()
+        ds = RandomRecDataset(cfg, 0)
+        dl = DataLoader(ds, batch_size=4, start_index=3)
+        np.testing.assert_array_equal(next(dl).dense, ds.batch(4, 3).dense)
+
+    def test_batch_size_validated(self):
+        with pytest.raises(ValueError):
+            DataLoader(RandomRecDataset(tiny_config(), 0), batch_size=0)
+
+
+class TestGlobalVsSharded:
+    def test_shards_partition_the_global_batch(self):
+        cfg = tiny_config()
+        loader = GlobalBatchLoader(RandomRecDataset(cfg, 0), global_batch=16, ranks=4)
+        g, shards = loader.next_shards()
+        assert len(shards) == 4
+        np.testing.assert_array_equal(
+            np.concatenate([s.dense for s in shards]), g.dense
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([s.labels for s in shards]), g.labels
+        )
+
+    def test_shard_offsets_rebased(self):
+        cfg = tiny_config()
+        loader = GlobalBatchLoader(RandomRecDataset(cfg, 0), global_batch=16, ranks=4)
+        _, shards = loader.next_shards()
+        for s in shards:
+            for off in s.offsets:
+                assert off[0] == 0
+
+    def test_flawed_loader_reads_global_batch_per_rank(self):
+        cfg = tiny_config()
+        flawed = GlobalBatchLoader(RandomRecDataset(cfg, 0), 64, ranks=8)
+        fixed = ShardedLoader(RandomRecDataset(cfg, 0), 64, ranks=8)
+        assert flawed.samples_read_per_rank == 64
+        assert fixed.samples_read_per_rank == 8
+
+    def test_both_loaders_produce_identical_shards(self):
+        """The flaw is purely a cost phenomenon, not a data one."""
+        cfg = tiny_config()
+        a = GlobalBatchLoader(RandomRecDataset(cfg, 0), 16, 4).next_shards()[1]
+        b = ShardedLoader(RandomRecDataset(cfg, 0), 16, 4).next_shards()[1]
+        for sa, sb in zip(a, b):
+            np.testing.assert_array_equal(sa.dense, sb.dense)
+
+    def test_divisibility_validated(self):
+        with pytest.raises(ValueError):
+            GlobalBatchLoader(RandomRecDataset(tiny_config(), 0), 10, 4)
+
+
+class TestBatchSlicing:
+    def test_slice_preserves_lookup_structure(self):
+        cfg = tiny_config()
+        b = RandomRecDataset(cfg, 0).batch(12)
+        s = b.slice(4, 8)
+        assert s.size == 4
+        p = cfg.lookups_per_table
+        np.testing.assert_array_equal(
+            s.indices[0], b.indices[0][4 * p : 8 * p]
+        )
+
+    def test_invalid_slice(self):
+        b = RandomRecDataset(tiny_config(), 0).batch(8)
+        with pytest.raises(ValueError):
+            b.slice(4, 2)
+
+    def test_shard_requires_divisibility(self):
+        b = RandomRecDataset(tiny_config(), 0).batch(9)
+        with pytest.raises(ValueError):
+            b.shard(4)

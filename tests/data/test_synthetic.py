@@ -1,0 +1,99 @@
+"""Random dataset and the bounded-Zipf sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import RandomRecDataset, bounded_zipf
+from tests.conftest import tiny_config
+
+
+class TestBoundedZipf:
+    @given(st.integers(1, 10_000), st.integers(0, 999))
+    @settings(max_examples=60, deadline=None)
+    def test_range(self, n_items, seed):
+        rng = np.random.default_rng(seed)
+        idx = bounded_zipf(rng, 200, n_items)
+        assert idx.min() >= 0 and idx.max() < n_items
+
+    def test_skew_exists(self):
+        rng = np.random.default_rng(0)
+        idx = bounded_zipf(rng, 100_000, 1_000_000)
+        _, counts = np.unique(idx, return_counts=True)
+        # A heavy head: the hottest item appears far above the mean.
+        assert counts.max() > 20 * counts.mean()
+
+    def test_scramble_spreads_hot_ids(self):
+        """Hot ids must not cluster at the low end (hashed categoricals)."""
+        rng = np.random.default_rng(0)
+        idx = bounded_zipf(rng, 50_000, 1_000_000, scramble=True)
+        uniq, counts = np.unique(idx, return_counts=True)
+        hot = uniq[counts.argmax()]
+        assert hot > 1_000  # unscrambled Zipf puts the head at id 0
+
+    def test_unscrambled_head_at_zero(self):
+        rng = np.random.default_rng(0)
+        idx = bounded_zipf(rng, 50_000, 1_000_000, scramble=False)
+        uniq, counts = np.unique(idx, return_counts=True)
+        assert uniq[counts.argmax()] == 0
+
+    def test_scramble_preserves_count_distribution(self):
+        rng = np.random.default_rng(0)
+        a = bounded_zipf(np.random.default_rng(7), 20_000, 100_000, scramble=False)
+        b = bounded_zipf(np.random.default_rng(7), 20_000, 100_000, scramble=True)
+        ca = np.sort(np.unique(a, return_counts=True)[1])
+        cb = np.sort(np.unique(b, return_counts=True)[1])
+        np.testing.assert_array_equal(ca, cb)
+
+    def test_tiny_table_degenerates(self):
+        rng = np.random.default_rng(0)
+        idx = bounded_zipf(rng, 2048, 3)
+        assert set(np.unique(idx)) <= {0, 1, 2}
+
+    def test_validations(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            bounded_zipf(rng, 10, 0)
+        with pytest.raises(ValueError):
+            bounded_zipf(rng, 10, 10, alpha=1.0)
+
+
+class TestRandomRecDataset:
+    def test_batch_shapes(self):
+        cfg = tiny_config()
+        ds = RandomRecDataset(cfg, seed=3)
+        b = ds.batch(12)
+        assert b.size == 12
+        assert b.dense.shape == (12, cfg.dense_features)
+        assert len(b.indices) == cfg.num_tables
+        assert all(off[-1] == 12 * cfg.lookups_per_table for off in b.offsets)
+
+    def test_deterministic_per_index(self):
+        cfg = tiny_config()
+        ds = RandomRecDataset(cfg, seed=3)
+        a, b = ds.batch(8, 5), ds.batch(8, 5)
+        np.testing.assert_array_equal(a.dense, b.dense)
+        np.testing.assert_array_equal(a.indices[0], b.indices[0])
+
+    def test_batches_differ_across_indices(self):
+        cfg = tiny_config()
+        ds = RandomRecDataset(cfg, seed=3)
+        assert not np.array_equal(ds.batch(8, 0).dense, ds.batch(8, 1).dense)
+
+    def test_batches_iterator(self):
+        cfg = tiny_config()
+        ds = RandomRecDataset(cfg, seed=3)
+        batches = list(ds.batches(4, count=3))
+        assert len(batches) == 3
+        np.testing.assert_array_equal(batches[1].dense, ds.batch(4, 1).dense)
+
+    def test_indices_in_table_range(self):
+        cfg = tiny_config(rows=17)
+        b = RandomRecDataset(cfg, seed=0).batch(32)
+        for t, idx in enumerate(b.indices):
+            assert idx.max() < cfg.table_rows[t]
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            RandomRecDataset(tiny_config(), 0).batch(0)

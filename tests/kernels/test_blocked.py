@@ -1,0 +1,88 @@
+"""Blocked tensor layouts: exact pack/unpack roundtrips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.blocked import (
+    BlockedLayout,
+    block_activation,
+    block_weight,
+    choose_blocking,
+    unblock_activation,
+    unblock_weight,
+)
+
+
+def divisor_pairs():
+    """(dim, block) with block | dim."""
+    return st.integers(1, 8).flatmap(
+        lambda b: st.integers(1, 6).map(lambda m: (b * m, b))
+    )
+
+
+class TestActivationLayout:
+    @given(divisor_pairs(), divisor_pairs(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_bitexact(self, nb_pair, cb_pair, seed):
+        (n, bn), (c, bc) = nb_pair, cb_pair
+        x = np.random.default_rng(seed).standard_normal((n, c)).astype(np.float32)
+        x4 = block_activation(x, bn, bc)
+        assert x4.shape == (c // bc, n // bn, bn, bc)
+        assert unblock_activation(x4).tobytes() == x.tobytes()
+
+    def test_block_order_is_cb_major(self):
+        # X[N=2, C=4], bn=1, bc=2: X4[cb][nb][bn][bc].
+        x = np.arange(8, dtype=np.float32).reshape(2, 4)
+        x4 = block_activation(x, 1, 2)
+        np.testing.assert_array_equal(x4[0, 0, 0], [0, 1])  # cb=0 slice
+        np.testing.assert_array_equal(x4[1, 1, 0], [6, 7])  # cb=1, nb=1
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            block_activation(np.zeros((3, 4), np.float32), 2, 2)
+
+
+class TestWeightLayout:
+    @given(divisor_pairs(), divisor_pairs(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_bitexact(self, kb_pair, cb_pair, seed):
+        (k, bk), (c, bc) = kb_pair, cb_pair
+        w = np.random.default_rng(seed).standard_normal((k, c)).astype(np.float32)
+        w4 = block_weight(w, bc, bk)
+        assert w4.shape == (k // bk, c // bc, bc, bk)
+        assert unblock_weight(w4).tobytes() == w.tobytes()
+
+    def test_inner_block_is_bc_by_bk(self):
+        # Alg. 5 multiplies [bn, bc] @ [bc, bk]; verify the transposition.
+        w = np.arange(4, dtype=np.float32).reshape(2, 2)  # W[K=2, C=2]
+        w4 = block_weight(w, 2, 2)
+        np.testing.assert_array_equal(w4[0, 0], w.T)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            block_weight(np.zeros((4, 5), np.float32), 2, 2)
+
+
+class TestChooseBlocking:
+    def test_blocks_divide_dimensions(self):
+        lay = choose_blocking(48, 100, 36)
+        assert 48 % lay.bn == 0 and 100 % lay.bc == 0 and 36 % lay.bk == 0
+
+    def test_blocks_bounded_by_target(self):
+        lay = choose_blocking(4096, 4096, 4096, target=64)
+        assert max(lay.bn, lay.bc, lay.bk) <= 64
+
+    def test_prime_dimensions_fall_back_to_one_or_self(self):
+        lay = choose_blocking(13, 17, 19, target=64)
+        # The full prime is itself a divisor <= 64.
+        assert (lay.bn, lay.bc, lay.bk) == (13, 17, 19)
+
+    def test_validate_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            BlockedLayout(bn=3, bc=2, bk=2).validate(8, 4, 4)
+
+    def test_validate_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BlockedLayout(bn=0, bc=2, bk=2).validate(8, 4, 4)

@@ -1,0 +1,111 @@
+"""Batch-reduce GEMM and Algorithm 5 vs. the plain matmul reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.blocked import block_activation, block_weight, choose_blocking
+from repro.kernels.gemm import (
+    FlopCounter,
+    batch_reduce_gemm,
+    blocked_matmul,
+    reference_gemm,
+)
+
+
+class TestReferenceGemm:
+    def test_computes_x_wt(self, rng):
+        x = rng.standard_normal((5, 7)).astype(np.float32)
+        w = rng.standard_normal((3, 7)).astype(np.float32)
+        np.testing.assert_allclose(reference_gemm(x, w), x @ w.T, rtol=1e-6)
+
+    def test_counts_flops(self, rng):
+        c = FlopCounter()
+        reference_gemm(np.zeros((5, 7), np.float32), np.zeros((3, 7), np.float32), c)
+        assert c.flops == 2 * 5 * 3 * 7
+        assert c.calls == 1
+
+    def test_inner_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            reference_gemm(np.zeros((5, 7), np.float32), np.zeros((3, 6), np.float32))
+
+
+class TestBatchReduceKernel:
+    def test_reduces_over_batch(self, rng):
+        cb, bn, bc, bk = 4, 3, 5, 2
+        a = rng.standard_normal((cb, bc, bk)).astype(np.float32)
+        b = rng.standard_normal((cb, bn, bc)).astype(np.float32)
+        out = np.zeros((bn, bk), dtype=np.float32)
+        batch_reduce_gemm(a, b, out)
+        want = sum(b[i] @ a[i] for i in range(cb))
+        np.testing.assert_allclose(out, want, rtol=1e-5, atol=1e-6)
+
+    def test_accumulates_in_place(self, rng):
+        a = rng.standard_normal((1, 2, 2)).astype(np.float32)
+        b = rng.standard_normal((1, 2, 2)).astype(np.float32)
+        out = np.ones((2, 2), dtype=np.float32)
+        batch_reduce_gemm(a, b, out)
+        np.testing.assert_allclose(out, 1.0 + b[0] @ a[0], rtol=1e-5)
+
+    def test_operand_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            batch_reduce_gemm(
+                np.zeros((2, 3, 4), np.float32),
+                np.zeros((3, 5, 3), np.float32),
+                np.zeros((5, 4), np.float32),
+            )
+
+    def test_out_shape_validated(self):
+        with pytest.raises(ValueError):
+            batch_reduce_gemm(
+                np.zeros((2, 3, 4), np.float32),
+                np.zeros((2, 5, 3), np.float32),
+                np.zeros((4, 5), np.float32),
+            )
+
+
+class TestBlockedMatmul:
+    @given(
+        st.sampled_from([(8, 8, 8), (16, 12, 20), (24, 16, 8), (6, 10, 14)]),
+        st.integers(1, 8),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_for_any_threads(self, shape, threads, seed):
+        n, c, k = shape
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, c)).astype(np.float32)
+        w = rng.standard_normal((k, c)).astype(np.float32)
+        layout = choose_blocking(n, c, k, target=4)
+        x4 = block_activation(x, layout.bn, layout.bc)
+        w4 = block_weight(w, layout.bc, layout.bk)
+        y4 = blocked_matmul(x4, w4, layout, threads=threads)
+        got = y4.transpose(1, 2, 0, 3).reshape(n, k)
+        np.testing.assert_allclose(got, x @ w.T, rtol=1e-4, atol=1e-5)
+
+    def test_counter_totals_full_gemm_work(self, rng):
+        n, c, k = 8, 8, 8
+        layout = choose_blocking(n, c, k, target=4)
+        x4 = block_activation(rng.standard_normal((n, c)).astype(np.float32), layout.bn, layout.bc)
+        w4 = block_weight(rng.standard_normal((k, c)).astype(np.float32), layout.bc, layout.bk)
+        counter = FlopCounter()
+        blocked_matmul(x4, w4, layout, counter=counter)
+        assert counter.flops == 2 * n * c * k
+
+    def test_layout_mismatch_raises(self, rng):
+        layout = choose_blocking(8, 8, 8, target=4)
+        x4 = block_activation(np.zeros((8, 8), np.float32), 4, 4)
+        w4 = block_weight(np.zeros((8, 12), np.float32), 4, 4)
+        with pytest.raises(ValueError):
+            blocked_matmul(x4, w4, layout)
+
+
+class TestFlopCounter:
+    def test_merge(self):
+        a, b = FlopCounter(), FlopCounter()
+        a.add_gemm(2, 3, 4)
+        b.add_gemm(1, 1, 1)
+        a.merge(b)
+        assert a.flops == 2 * 2 * 3 * 4 + 2
+        assert a.calls == 2

@@ -1,0 +1,56 @@
+"""Static thread partitioning (Alg. 4/5 work division)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.threads import partition_balance, row_range_for_thread, static_partition
+
+
+class TestStaticPartition:
+    @given(st.integers(0, 1000), st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_covers_exactly_once(self, work, threads):
+        ranges = static_partition(work, threads)
+        assert len(ranges) == threads
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == work
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0  # contiguous, no gaps or overlaps
+
+    @given(st.integers(0, 1000), st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_balanced_within_one(self, work, threads):
+        sizes = [hi - lo for lo, hi in static_partition(work, threads)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            static_partition(-1, 4)
+        with pytest.raises(ValueError):
+            static_partition(4, 0)
+
+
+class TestRowRange:
+    def test_matches_partition(self):
+        for rows, threads in [(100, 7), (3, 28), (29, 4)]:
+            ranges = static_partition(rows, threads)
+            for tid in range(threads):
+                assert row_range_for_thread(rows, tid, threads) == ranges[tid]
+
+    def test_tid_validated(self):
+        with pytest.raises(ValueError):
+            row_range_for_thread(10, 5, 5)
+
+
+class TestPartitionBalance:
+    def test_uniform_is_one(self):
+        assert partition_balance(np.array([5, 5, 5])) == 1.0
+
+    def test_skewed(self):
+        assert partition_balance(np.array([9, 0, 0])) == pytest.approx(3.0)
+
+    def test_empty_and_zero(self):
+        assert partition_balance(np.array([])) == 1.0
+        assert partition_balance(np.zeros(4)) == 1.0

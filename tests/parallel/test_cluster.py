@@ -1,0 +1,196 @@
+"""SimCluster: virtual clocks, collectives, backend pathologies."""
+
+import numpy as np
+import pytest
+
+from repro.hw.network import CollectiveCost
+from repro.parallel.cluster import SimCluster
+
+
+def make_cluster(r=4, backend="ccl", blocking=False, platform="cluster"):
+    return SimCluster(r, platform=platform, backend=backend, blocking=blocking)
+
+
+class TestConstruction:
+    def test_platform_defaults(self):
+        node = make_cluster(8, platform="node")
+        assert node.socket.name.endswith("(SKX)")
+        cl = make_cluster(8, platform="cluster")
+        assert cl.socket.name.endswith("(CLX)")
+
+    def test_node_caps_at_8_ranks(self):
+        with pytest.raises(ValueError):
+            SimCluster(9, platform="node")
+
+    def test_compute_cores_reflect_backend(self):
+        assert make_cluster(2, backend="ccl").compute_cores == 24
+        assert make_cluster(2, backend="mpi").compute_cores == 28
+
+    def test_invalid_platform(self):
+        with pytest.raises(ValueError):
+            SimCluster(2, platform="cloud")
+
+
+class TestCharging:
+    def test_charge_advances_clock_and_profiler(self):
+        c = make_cluster(2)
+        c.charge(0, 0.5, "compute.mlp.fwd")
+        assert c.clocks[0].now == 0.5
+        assert c.profilers[0].get("compute.mlp.fwd") == 0.5
+        assert c.clocks[1].now == 0.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            make_cluster(1).charge(0, -1.0, "x")
+
+    def test_barrier_syncs_clocks(self):
+        c = make_cluster(3)
+        c.charge(1, 2.0, "compute.x")
+        c.barrier()
+        assert all(clk.now == 2.0 for clk in c.clocks)
+
+    def test_elapsed_since_tracks_slowest(self):
+        c = make_cluster(2)
+        snap = c.snapshot()
+        c.charge(0, 1.0, "compute.x")
+        c.charge(1, 3.0, "compute.x")
+        assert c.elapsed_since(snap) == 3.0
+
+
+class TestCollectives:
+    def test_allreduce_sums_and_times(self, rng):
+        c = make_cluster(4)
+        bufs = [rng.standard_normal(8).astype(np.float32) for _ in range(4)]
+        want = np.sum(bufs, axis=0, dtype=np.float32)
+        out, handle = c.allreduce(bufs)
+        handle.wait_all()
+        for o in out:
+            np.testing.assert_allclose(o, want, rtol=1e-6)
+        assert all(p.get("comm.allreduce.wait") > 0 for p in c.profilers)
+
+    def test_wait_is_idempotent(self, rng):
+        c = make_cluster(2)
+        _, handle = c.allreduce([np.ones(4, np.float32)] * 2)
+        first = handle.wait(0)
+        assert handle.wait(0) == 0.0
+        assert first >= 0
+
+    def test_wait_unknown_rank_raises(self, rng):
+        c = make_cluster(2)
+        _, handle = c.allreduce([np.ones(4, np.float32)] * 2)
+        with pytest.raises(ValueError):
+            handle.wait(7)
+
+    def test_overlap_hides_cost(self):
+        """Compute charged between issue and wait reduces exposed wait."""
+        c = make_cluster(2, backend="ccl")
+        _, handle = c.allreduce([np.ones(2_000_000, np.float32)] * 2)
+        exposed_immediate_cluster = make_cluster(2, backend="ccl")
+        _, h2 = exposed_immediate_cluster.allreduce(
+            [np.ones(2_000_000, np.float32)] * 2
+        )
+        h2.wait_all()
+        immediate = exposed_immediate_cluster.profilers[0].get("comm.allreduce.wait")
+        c.charge_all(immediate / 2, "compute.x")  # overlap half the cost
+        handle.wait_all()
+        overlapped = c.profilers[0].get("comm.allreduce.wait")
+        assert overlapped == pytest.approx(immediate / 2, rel=0.05)
+
+    def test_blocking_mode_exposes_everything(self):
+        c = make_cluster(2, blocking=True)
+        _, handle = c.allreduce([np.ones(2_000_000, np.float32)] * 2)
+        assert handle.done
+        assert c.profilers[0].get("comm.allreduce.wait") > 0
+
+    def test_alltoall_moves_data(self, rng):
+        c = make_cluster(3)
+        send = [
+            [rng.standard_normal(4).astype(np.float32) for _ in range(3)]
+            for _ in range(3)
+        ]
+        recv, handle = c.alltoall(send)
+        handle.wait_all()
+        for i in range(3):
+            for j in range(3):
+                np.testing.assert_array_equal(recv[j][i], send[i][j])
+
+    def test_scatter(self, rng):
+        c = make_cluster(3)
+        chunks = [np.full(2, i, np.float32) for i in range(3)]
+        out, handle = c.scatter(0, chunks)
+        handle.wait_all()
+        assert out[2][0] == 2.0
+
+
+class TestBackendPathologies:
+    def test_mpi_in_order_absorbs_earlier_op(self):
+        """A cheap op waited first pays for an expensive op issued before
+        it -- the paper's 'allreduce cost at alltoall wait'."""
+        c = make_cluster(4, backend="mpi")
+        big = [np.ones(30_000_000, np.float32)] * 4
+        small = [np.ones(1000, np.float32)] * 4
+        _, h_big = c.allreduce(big, op="allreduce")
+        _, h_small = c.allreduce(small, op="alltoall")
+        # Wait the SMALL op first: with in-order completion it cannot
+        # finish before the big one.
+        h_small.wait_all()
+        small_wait = c.profilers[0].get("comm.alltoall.wait")
+        h_big.wait_all()
+        big_wait = c.profilers[0].get("comm.allreduce.wait")
+        assert small_wait > 10 * max(big_wait, 1e-9)
+
+    def test_ccl_out_of_order_does_not_absorb(self):
+        c = make_cluster(4, backend="ccl")
+        big = [np.ones(30_000_000, np.float32)] * 4
+        small = [np.ones(1000, np.float32)] * 4
+        _, h_big = c.allreduce(big, op="allreduce")
+        _, h_small = c.allreduce(small, op="alltoall")
+        h_small.wait_all()
+        small_wait = c.profilers[0].get("comm.alltoall.wait")
+        h_big.wait_all()
+        big_wait = c.profilers[0].get("comm.allreduce.wait")
+        # Out-of-order: the small op still queues behind the shared
+        # network engine, but nothing forces it to absorb the big op's
+        # completion; most cost lands on the big op's own wait.
+        assert big_wait > 0 or small_wait > 0
+
+    def test_mpi_interference_inflates_overlapped_compute(self):
+        mpi = make_cluster(2, backend="mpi")
+        _, h = mpi.allreduce([np.ones(1000, np.float32)] * 2)
+        charged = mpi.charge(0, 1.0, "compute.x")
+        assert charged == pytest.approx(mpi.backend.compute_interference)
+        h.wait_all()
+        assert mpi.charge(0, 1.0, "compute.x") == pytest.approx(1.0)
+
+    def test_ccl_no_interference(self):
+        ccl = make_cluster(2, backend="ccl")
+        _, h = ccl.allreduce([np.ones(1000, np.float32)] * 2)
+        assert ccl.charge(0, 1.0, "compute.x") == pytest.approx(1.0)
+        h.wait_all()
+
+    def test_mpi_slower_transfer_than_ccl(self):
+        def wait_time(backend):
+            c = make_cluster(4, backend=backend, blocking=True)
+            c.allreduce([np.ones(10_000_000, np.float32)] * 4)
+            return c.profilers[0].get("comm.allreduce.wait")
+
+        assert wait_time("mpi") > 1.2 * wait_time("ccl")
+
+    def test_network_engine_serialises_transfers(self):
+        """Two collectives issued back-to-back cannot overlap transfers."""
+        c = make_cluster(4, backend="ccl")
+        buf = [np.ones(10_000_000, np.float32)] * 4
+        _, h1 = c.allreduce(buf)
+        _, h2 = c.allreduce(buf)
+        h1.wait_all()
+        t1 = c.profilers[0].get("comm.allreduce.wait")
+        h2.wait_all()
+        t2 = c.profilers[0].get("comm.allreduce.wait")
+        assert t2 == pytest.approx(2 * t1, rel=0.05)
+
+
+class TestIssue:
+    def test_zero_cost_completes_immediately(self):
+        c = make_cluster(2, backend="local")
+        h = c.issue("alltoall", CollectiveCost(0.0, 0.0))
+        assert h.wait(0) == 0.0

@@ -1,0 +1,73 @@
+"""MLP communication/computation overlap (Figs. 2 and 6)."""
+
+import pytest
+
+from repro.parallel.overlap import overlap_mlp_training
+
+
+class TestPaperConfiguration:
+    """The Fig. 6 setup: 8 CLX nodes, 4 EPs, N=1008, C=K=1024, 5 layers."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return overlap_mlp_training()
+
+    def test_communication_fully_hidden(self, report):
+        """Fig. 6's headline: the comm bars fit under the GEMM bars."""
+        assert report.fully_hidden
+        assert report.exposed_time == 0.0
+
+    def test_gemm_times_in_paper_band(self, report):
+        """Sect. VI-B: BWD_D / BWD_W GEMMs ~5.4 ms per pass."""
+        assert 2.5e-3 < report.bwd_gemm_time < 9e-3
+        assert 2.5e-3 < report.upd_gemm_time < 9e-3
+
+    def test_comm_times_in_paper_band(self, report):
+        """Sect. VI-B: overlapped comm ops ~2.84 / 1.86 ms."""
+        assert 0.5e-3 < report.upd_comm_time < 5e-3
+        assert 0.3e-3 < report.bwd_comm_time < 5e-3
+
+    def test_last_layer_has_no_allgather(self, report):
+        """The first processed layer (L = nLayers-1) has no L+1 grads to
+        gather yet (Fig. 2 pipeline)."""
+        first_processed = report.layers[0]
+        assert first_processed.layer == 4
+        assert first_processed.allgather == 0.0
+
+    def test_every_layer_reduce_scatters(self, report):
+        assert all(l.reduce_scatter > 0 for l in report.layers)
+
+
+class TestScalingBehaviour:
+    def test_single_rank_has_no_communication(self):
+        r = overlap_mlp_training(ranks=1)
+        assert r.bwd_comm_time == 0.0 and r.upd_comm_time == 0.0
+
+    def test_more_comm_cores_shrink_comm_time(self):
+        slow = overlap_mlp_training(comm_cores=1)
+        fast = overlap_mlp_training(comm_cores=4)
+        assert fast.upd_comm_time < slow.upd_comm_time
+
+    def test_donating_cores_slows_gemms(self):
+        few = overlap_mlp_training(comm_cores=1)
+        many = overlap_mlp_training(comm_cores=14)
+        assert many.bwd_gemm_time > few.bwd_gemm_time
+
+    def test_bigger_layers_stay_hidden(self):
+        """Compute grows cubically, comm quadratically: overlap gets
+        easier with larger feature maps."""
+        r = overlap_mlp_training(c=2048, k=2048)
+        assert r.fully_hidden
+
+    def test_tiny_gemms_expose_communication(self):
+        """Shrinking the minibatch starves the overlap window."""
+        r = overlap_mlp_training(n=16, c=1024, k=1024, ranks=8)
+        assert r.exposed_time > 0.0
+
+    def test_node_platform_supported(self):
+        r = overlap_mlp_training(ranks=8, platform="node")
+        assert r.bwd_gemm_time > 0
+
+    def test_comm_cores_validated(self):
+        with pytest.raises(ValueError):
+            overlap_mlp_training(comm_cores=28)

