@@ -1,6 +1,46 @@
-"""Legacy installer shim (the build environment has no `wheel` package,
-so PEP 517 editable installs are unavailable)."""
+"""Package metadata for the DLRM CPU-cluster reproduction.
 
-from setuptools import setup
+Kept as a classic ``setup.py`` (no ``pyproject.toml``): the build
+environment carries no ``wheel`` package, so PEP 517 editable installs
+are unavailable and ``pip install -e . --no-build-isolation`` must go
+through the legacy setuptools path.
+"""
 
-setup()
+import pathlib
+
+from setuptools import find_packages, setup
+
+_HERE = pathlib.Path(__file__).parent
+
+setup(
+    name="repro-dlrm-cpu",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'Optimizing deep learning recommender systems "
+        "training on CPU cluster architectures' (SC'20): analytic cost "
+        "models, a simulated SPMD cluster, functional DLRM training and "
+        "a batched, cache-aware serving subsystem"
+    ),
+    long_description=(_HERE / "README.md").read_text(encoding="utf-8"),
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "networkx>=3.0"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+        "lint": ["ruff"],
+    },
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+    classifiers=[
+        "Development Status :: 3 - Alpha",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Scientific/Engineering",
+    ],
+)

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bench import paper
-from repro.core.config import CONFIGS, table_one, table_two
+from repro.core.config import table_one, table_two
 from repro.hw.costmodel import CostModel, GemmShape
 from repro.hw.spec import SKX_8180
 from repro.parallel.overlap import OverlapReport, overlap_mlp_training

@@ -89,6 +89,27 @@ def _build_parser() -> argparse.ArgumentParser:
     it.add_argument("--update", choices=["reference", "atomic", "rtm", "racefree", "fused"], default="racefree")
     it.add_argument("--platform", choices=["node", "cluster"], default="cluster")
     it.add_argument("--blocking", action="store_true")
+    sv = sub.add_parser(
+        "serve",
+        help="simulate batched inference serving: throughput vs p99 latency",
+    )
+    sv.add_argument("--config", choices=["small", "large", "mlperf"], default="mlperf")
+    sv.add_argument("--requests", type=int, default=2000)
+    sv.add_argument("--qps", type=float, default=4000.0, help="mean arrival rate")
+    sv.add_argument("--policy", choices=["static", "dynamic", "adaptive"], default="dynamic")
+    sv.add_argument(
+        "--router", choices=["round_robin", "least_loaded", "cache_affinity"],
+        default="least_loaded",
+    )
+    sv.add_argument("--replicas", type=int, default=4)
+    sv.add_argument("--max-batch", type=int, default=256, help="batch close threshold (samples)")
+    sv.add_argument(
+        "--budgets-ms", type=float, nargs="+", default=[1.0, 2.0, 5.0, 10.0, 20.0],
+        help="latency budgets swept by the micro-batcher",
+    )
+    sv.add_argument("--cache-rows", type=int, default=8192)
+    sv.add_argument("--cache-policy", choices=["lru", "lfu"], default="lru")
+    sv.add_argument("--seed", type=int, default=0)
     return p
 
 
@@ -131,6 +152,49 @@ def _dispatch(args: argparse.Namespace) -> str:
             lr=args.lr,
         )
         return format_table(curves.rows(), title=EXPERIMENTS[name])
+    if name == "serve":
+        from repro.serve import ServeParams, frontier_rows, sweep_budgets
+
+        if args.requests < 1:
+            raise SystemExit("repro serve: --requests must be >= 1")
+        if args.qps <= 0:
+            raise SystemExit("repro serve: --qps must be positive")
+        if args.replicas < 1:
+            raise SystemExit("repro serve: --replicas must be >= 1")
+        if args.max_batch < 1:
+            raise SystemExit("repro serve: --max-batch must be >= 1")
+        if args.cache_rows < 1:
+            raise SystemExit("repro serve: --cache-rows must be >= 1")
+        if any(b <= 0 for b in args.budgets_ms):
+            raise SystemExit("repro serve: --budgets-ms values must be positive")
+        params = ServeParams(
+            config=args.config,
+            requests=args.requests,
+            mean_qps=args.qps,
+            policy=args.policy,
+            router=args.router,
+            replicas=args.replicas,
+            max_batch_samples=args.max_batch,
+            cache_rows=args.cache_rows,
+            cache_policy=args.cache_policy,
+            seed=args.seed,
+        )
+        sweep = sweep_budgets(params, budgets_ms=tuple(args.budgets_ms))
+        table = format_table(
+            sweep,
+            columns=[
+                "policy", "router", "budget_ms", "batches", "batch_samples",
+                "hit_rate", "qps", "p50_ms", "p95_ms", "p99_ms",
+            ],
+            title=(
+                f"Serving {args.config}: throughput vs p99 latency "
+                f"({args.requests} requests, {args.replicas} replicas)"
+            ),
+        )
+        frontier = format_table(
+            frontier_rows(sweep), title="Throughput-under-SLA frontier"
+        )
+        return f"{table}\n\n{frontier}"
     if name == "iteration":
         res = model_iteration(
             args.config,

@@ -20,8 +20,7 @@ record the discrepancy in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 #: Criteo Terabyte categorical cardinalities used by MLPerf DLRM
 #: (hash-capped at 40M rows; sum ~187.8M rows -> ~96 GiB at E=128 FP32,

@@ -31,6 +31,12 @@ class CatInteraction:
             raise ValueError(f"expected {self.num_embeddings} embedding outputs, got {len(embs)}")
         return np.concatenate([dense, *embs], axis=1)
 
+    def infer(self, dense: np.ndarray, embs: list[np.ndarray]) -> np.ndarray:
+        """Forward without backward state (trivially identical here)."""
+        if len(embs) != self.num_embeddings:
+            raise ValueError(f"expected {self.num_embeddings} embedding outputs, got {len(embs)}")
+        return np.concatenate([dense, *embs], axis=1)
+
     def backward(self, dout: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
         d = self.dim
         ddense = dout[:, :d]
@@ -68,6 +74,21 @@ class DotInteraction:
         z = np.stack([dense, *embs], axis=1).astype(np.float32, copy=False)
         self._z = z
         # Batched self-GEMM: P[N, V, V] = Z @ Z^T.
+        p = np.matmul(z, z.transpose(0, 2, 1))
+        flat = p[:, self._tril[0], self._tril[1]]
+        return np.concatenate([dense, flat], axis=1)
+
+    def infer(self, dense: np.ndarray, embs: list[np.ndarray]) -> np.ndarray:
+        """Forward-only interaction: bit-identical to :meth:`forward` but
+        leaves the saved ``Z`` (and hence any pending backward) untouched."""
+        if len(embs) != self.num_embeddings:
+            raise ValueError(f"expected {self.num_embeddings} embedding outputs, got {len(embs)}")
+        for i, e in enumerate(embs):
+            if e.shape != dense.shape:
+                raise ValueError(
+                    f"embedding output {i} shape {e.shape} != dense {dense.shape}"
+                )
+        z = np.stack([dense, *embs], axis=1).astype(np.float32, copy=False)
         p = np.matmul(z, z.transpose(0, 2, 1))
         flat = p[:, self._tril[0], self._tril[1]]
         return np.concatenate([dense, flat], axis=1)

@@ -1,14 +1,36 @@
 """Evaluation metrics: ROC AUC (Fig. 16's y-axis), accuracy, log loss.
 
-Implemented from scratch (no sklearn in this environment): AUC via the
-Mann-Whitney U statistic with midrank tie handling, which is exact and
-O(n log n).
+Implemented from scratch (pure numpy -- no sklearn or scipy): AUC via
+the Mann-Whitney U statistic with midrank tie handling, which is exact
+and O(n log n).
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy.stats import rankdata
+
+
+def midrank(x: np.ndarray) -> np.ndarray:
+    """1-based ranks with ties assigned the mean rank of their run.
+
+    Pure-numpy equivalent of ``scipy.stats.rankdata(x)`` (the default
+    "average" method): sort once, find the tie runs, give every member of
+    a run occupying sorted positions ``[s, e)`` the midrank
+    ``(s + e + 1) / 2`` (1-based, hence exact halves for even runs).
+    """
+    x = np.asarray(x).ravel()
+    if x.size == 0:
+        return np.empty(0, dtype=np.float64)
+    order = np.argsort(x, kind="stable")
+    xs = x[order]
+    run_start = np.r_[True, xs[1:] != xs[:-1]]
+    run_id = np.cumsum(run_start) - 1
+    starts = np.flatnonzero(run_start)
+    ends = np.r_[starts[1:], xs.size]
+    mid = (starts + ends + 1) / 2.0
+    out = np.empty(x.size, dtype=np.float64)
+    out[order] = mid[run_id]
+    return out
 
 
 def roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
@@ -27,7 +49,7 @@ def roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
     n_neg = y.size - n_pos
     if n_pos == 0 or n_neg == 0:
         raise ValueError("roc_auc needs both classes present")
-    ranks = rankdata(s)
+    ranks = midrank(s)
     r_pos = ranks[pos].sum()
     return float((r_pos - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
 

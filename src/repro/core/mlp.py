@@ -21,11 +21,9 @@ import numpy as np
 from repro.core.bf16 import bf16_dot
 from repro.core.param import Parameter
 from repro.kernels.blocked import (
-    BlockedLayout,
     block_activation,
     block_weight,
     choose_blocking,
-    unblock_activation,
 )
 from repro.kernels.gemm import FlopCounter, blocked_matmul
 
@@ -137,6 +135,49 @@ class FullyConnected:
         self._y = z
         return z
 
+    def infer(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Forward pass without autograd state (inference/eval mode).
+
+        Produces bit-identical results to :meth:`forward` but stores no
+        activations, so interleaving inference with training never
+        corrupts a pending backward.  ``out`` may be a preallocated
+        C-contiguous ``(N, out_features)`` float32 buffer; the reference
+        engine then writes the GEMM result directly into it (the serving
+        engine's warm path reuses one buffer per layer across calls).
+        """
+        x = np.ascontiguousarray(x, dtype=np.float32)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input (N, {self.in_features}), got {x.shape}"
+            )
+        usable = (
+            out is not None
+            and out.shape == (x.shape[0], self.out_features)
+            and out.dtype == np.float32
+            and out.flags["C_CONTIGUOUS"]
+        )
+        if self.engine == "blocked":
+            z = _blocked_gemm_nt(x, self.weight.value, self.threads, self.flops)
+        elif self.engine == "bf16":
+            self.flops.add_gemm(x.shape[0], self.out_features, self.in_features)
+            z = bf16_dot(x, self.weight.value.T)
+        elif usable:
+            self.flops.add_gemm(x.shape[0], self.out_features, self.in_features)
+            np.matmul(x, self.weight.value.T, out=out)
+            z = out
+        else:
+            self.flops.add_gemm(x.shape[0], self.out_features, self.in_features)
+            z = x @ self.weight.value.T
+        if z is not out and usable:
+            out[...] = z
+            z = out
+        z += self.bias.value
+        if self.activation == "relu":
+            np.maximum(z, 0.0, out=z)
+        elif self.activation == "sigmoid":
+            z[...] = sigmoid(z)
+        return z
+
     def backward(self, dy: np.ndarray) -> np.ndarray:
         """Backward-by-weights (into .grad) and backward-by-data (returned)."""
         if self._x is None or self._y is None:
@@ -225,6 +266,20 @@ class MLP:
     def forward(self, x: np.ndarray) -> np.ndarray:
         for layer in self.layers:
             x = layer.forward(x)
+        return x
+
+    def infer(self, x: np.ndarray, outs: list[np.ndarray] | None = None) -> np.ndarray:
+        """Forward-only pass through the stack (see FullyConnected.infer).
+
+        ``outs`` is an optional list of per-layer preallocated output
+        buffers (one per layer, shapes ``(N, layer.out_features)``).
+        """
+        if outs is not None and len(outs) != len(self.layers):
+            raise ValueError(
+                f"expected {len(self.layers)} output buffers, got {len(outs)}"
+            )
+        for i, layer in enumerate(self.layers):
+            x = layer.infer(x, out=None if outs is None else outs[i])
         return x
 
     def backward(self, dy: np.ndarray) -> np.ndarray:

@@ -144,6 +144,32 @@ class DLRM:
         emb_out = self.embedding_forward(batch)
         return self.dense_forward(batch, emb_out)
 
+    def infer(
+        self,
+        batch: Batch,
+        bottom_outs: list[np.ndarray] | None = None,
+        top_outs: list[np.ndarray] | None = None,
+    ) -> np.ndarray:
+        """Forward-only pass (inference/eval mode): returns the logits.
+
+        Bit-identical to :meth:`forward` on the same batch, but stores
+        *no* state anywhere -- ``_batch``, ``_logits``, MLP activations
+        and the interaction's saved ``Z`` are all left untouched, so a
+        serving path can interleave with a pending training backward.
+        The optional ``*_outs`` buffer lists are forwarded to
+        :meth:`MLP.infer` (the serving engine's warm path).
+        """
+        missing = [t for t in range(self.cfg.num_tables) if t not in self.tables]
+        if missing:
+            raise ValueError(
+                f"inference needs all tables locally; missing {missing}"
+            )
+        emb_out = self.embedding_forward(batch)
+        x_bottom = self.bottom.infer(batch.dense, outs=bottom_outs)
+        embs = [emb_out[t] for t in range(self.cfg.num_tables)]
+        r = self.interaction.infer(x_bottom, embs)
+        return self.top.infer(r, outs=top_outs)
+
     def loss(self, batch: Batch, normalizer: float | None = None) -> float:
         logits = self.forward(batch)
         return self.loss_fn.forward(logits, batch.labels, normalizer=normalizer)

@@ -18,7 +18,7 @@ and latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 #: FP32 operations per core per cycle with AVX512: two 512-bit FMA units,
 #: 16 lanes each, 2 flops (mul+add) per lane.

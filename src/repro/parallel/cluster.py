@@ -27,8 +27,6 @@ Backend pathologies reproduced here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.comm.backend import BackendSpec, make_backend

@@ -50,22 +50,22 @@ class OverlapReport:
     @property
     def bwd_gemm_time(self) -> float:
         """GEMM time of the BWD pass (backward-by-data, all layers)."""
-        return sum(l.bwd_data_gemm for l in self.layers)
+        return sum(lay.bwd_data_gemm for lay in self.layers)
 
     @property
     def upd_gemm_time(self) -> float:
         """GEMM time of the UPD pass (backward-by-weights, all layers)."""
-        return sum(l.bwd_weights_gemm for l in self.layers)
+        return sum(lay.bwd_weights_gemm for lay in self.layers)
 
     @property
     def bwd_comm_time(self) -> float:
         """Allgather time overlapped with the BWD-pass GEMMs."""
-        return sum(l.allgather for l in self.layers)
+        return sum(lay.allgather for lay in self.layers)
 
     @property
     def upd_comm_time(self) -> float:
         """Reduce-scatter time overlapped with the UPD-pass GEMMs."""
-        return sum(l.reduce_scatter for l in self.layers)
+        return sum(lay.reduce_scatter for lay in self.layers)
 
     @property
     def fully_hidden(self) -> bool:

@@ -1,0 +1,55 @@
+"""repro.serve: batched, cache-aware DLRM inference/serving.
+
+The training reproduction's operators, cost model and simulated cluster,
+turned toward the ROADMAP's serving workload: a forward-only engine
+(bit-identical to training forward), a latency-budgeted micro-batcher
+over a synthetic query stream, an embedding-row fast-tier cache, and
+multi-socket replicas with latency/cache-aware routing -- reduced to
+p50/p95/p99 + QPS and a throughput-under-SLA frontier.
+"""
+
+from repro.serve.batcher import (
+    MicroBatch,
+    MicroBatcher,
+    POLICIES,
+    Request,
+    StreamConfig,
+    poisson_stream,
+)
+from repro.serve.cache import CacheReport, EmbeddingCache
+from repro.serve.driver import (
+    ServeParams,
+    ServingWorkload,
+    frontier_rows,
+    run_serving,
+    sweep_budgets,
+)
+from repro.serve.engine import InferenceEngine
+from repro.serve.replica import ROUTERS, ReplicaSet, ReplicaStats, Router, ServingResult
+from repro.serve.sla import LatencyReport, ServingCost, latency_report, sla_frontier
+
+__all__ = [
+    "CacheReport",
+    "EmbeddingCache",
+    "InferenceEngine",
+    "LatencyReport",
+    "MicroBatch",
+    "MicroBatcher",
+    "POLICIES",
+    "ROUTERS",
+    "ReplicaSet",
+    "ReplicaStats",
+    "Request",
+    "Router",
+    "ServeParams",
+    "ServingCost",
+    "ServingResult",
+    "ServingWorkload",
+    "StreamConfig",
+    "frontier_rows",
+    "latency_report",
+    "poisson_stream",
+    "run_serving",
+    "sla_frontier",
+    "sweep_budgets",
+]

@@ -1,0 +1,187 @@
+"""Multi-socket replica placement and latency-aware request routing.
+
+Serving replicates the full model once per socket (inference needs no
+gradient exchange, so -- unlike training -- sockets are independent and
+the fabric only carries requests).  Replicas live on the ranks of a
+:class:`~repro.parallel.cluster.SimCluster`: each rank's
+:class:`~repro.perf.clock.VirtualClock` is the replica's busy-until
+time, its profiler accumulates the ``serve.*`` categories, and the
+cluster's socket spec prices the per-batch service time through
+:class:`~repro.serve.sla.ServingCost`.
+
+Routers:
+
+* ``round_robin``    -- cycle through replicas; oblivious baseline.
+* ``least_loaded``   -- send to the replica whose clock frees earliest
+  (latency-aware: minimises queueing delay).
+* ``cache_affinity`` -- hash the batch's user key onto a replica so a
+  user's hot rows keep re-hitting the same fast tier; trades queueing
+  balance for hit rate (Gupta et al.'s locality observation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.parallel.cluster import SimCluster
+from repro.serve.batcher import MicroBatch
+from repro.serve.cache import EmbeddingCache
+from repro.serve.sla import LatencyReport, ServingCost, latency_report
+
+#: Routing policies.
+ROUTERS = ("round_robin", "least_loaded", "cache_affinity")
+
+
+class Router:
+    """Picks the serving rank for each micro-batch."""
+
+    def __init__(self, policy: str, n_replicas: int):
+        if policy not in ROUTERS:
+            raise ValueError(f"router must be one of {ROUTERS}, got {policy!r}")
+        if n_replicas < 1:
+            raise ValueError("need at least one replica")
+        self.policy = policy
+        self.n_replicas = n_replicas
+        self._next = 0
+
+    def pick(self, mb: MicroBatch, busy_until: list[float]) -> int:
+        """Rank to serve ``mb`` given each replica's busy-until time."""
+        if len(busy_until) != self.n_replicas:
+            raise ValueError("busy_until length != replica count")
+        if self.policy == "round_robin":
+            rank = self._next
+            self._next = (self._next + 1) % self.n_replicas
+            return rank
+        if self.policy == "least_loaded":
+            return int(np.argmin(busy_until))
+        # cache_affinity: the oldest request opened the batch; its user
+        # key decides the replica so repeat users land on a warm cache.
+        return mb.requests[0].key % self.n_replicas
+
+
+@dataclass
+class ReplicaStats:
+    """Per-replica accounting of one serving run."""
+
+    rank: int
+    batches: int = 0
+    samples: int = 0
+    busy_s: float = 0.0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class ServingResult:
+    """Everything a serving run produced, ready for SLA accounting."""
+
+    #: Per-request latency (completion - arrival), request order.
+    latencies: np.ndarray
+    #: Wall time from stream start to the last completion.
+    makespan_s: float
+    replicas: list[ReplicaStats] = field(default_factory=list)
+    batches: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        hits = sum(r.hits for r in self.replicas)
+        total = hits + sum(r.misses for r in self.replicas)
+        return hits / total if total else 0.0
+
+    @property
+    def mean_batch_samples(self) -> float:
+        samples = sum(r.samples for r in self.replicas)
+        return samples / self.batches if self.batches else 0.0
+
+    def report(self) -> LatencyReport:
+        return latency_report(self.latencies, self.makespan_s)
+
+
+class ReplicaSet:
+    """One full-model replica per rank of a :class:`SimCluster`."""
+
+    def __init__(
+        self,
+        cluster: SimCluster,
+        cost: ServingCost,
+        cache_rows: int,
+        cache_policy: str = "lru",
+        router: str | Router = "least_loaded",
+    ):
+        self.cluster = cluster
+        self.cost = cost
+        self.router = (
+            router if isinstance(router, Router) else Router(router, cluster.n_ranks)
+        )
+        if self.router.n_replicas != cluster.n_ranks:
+            raise ValueError("router sized for a different replica count")
+        self.caches = [
+            EmbeddingCache(cache_rows, cost.cfg.table_rows, policy=cache_policy)
+            for _ in cluster.ranks
+        ]
+
+    def serve(
+        self,
+        batches: list[MicroBatch],
+        indices_for,
+    ) -> ServingResult:
+        """Run dispatched ``batches`` through the replicas.
+
+        ``indices_for(mb)`` supplies the per-table embedding index
+        vectors of a micro-batch (the workload model owns index
+        synthesis; see :class:`repro.serve.driver.ServingWorkload`).
+        Batches are processed in dispatch order; a batch starts at
+        ``max(dispatch_time, replica clock)`` -- queueing on a busy
+        replica is exactly the exposed wait the router tries to avoid.
+        """
+        cluster = self.cluster
+        stats = [ReplicaStats(rank=r) for r in cluster.ranks]
+        lat: dict[int, float] = {}
+        n_batches = 0
+        makespan = 0.0
+        for mb in sorted(batches, key=lambda b: b.dispatch_time):
+            busy = [c.now for c in cluster.clocks]
+            rank = self.router.pick(mb, busy)
+            cache = self.caches[rank]
+            hits = misses = 0
+            for t, idx in enumerate(indices_for(mb)):
+                rep = cache.access(t, idx)
+                hits += rep.hits
+                misses += rep.misses
+            lookups = hits + misses
+            hit_rate = hits / lookups if lookups else 0.0
+            service = self.cost.batch_time(
+                mb.samples, total_lookups=lookups, hit_rate=hit_rate
+            )
+            clock = cluster.clocks[rank]
+            start = max(mb.dispatch_time, clock.now)
+            queued = start - mb.dispatch_time
+            done = start + service
+            clock.advance_to(done)
+            prof = cluster.profilers[rank]
+            prof.add("serve.batch", service)
+            prof.add("serve.queue", queued)
+            st = stats[rank]
+            st.batches += 1
+            st.samples += mb.samples
+            st.busy_s += service
+            st.hits += hits
+            st.misses += misses
+            n_batches += 1
+            makespan = max(makespan, done)
+            for r in mb.requests:
+                lat[r.rid] = done - r.arrival
+        latencies = np.array([lat[rid] for rid in sorted(lat)], dtype=np.float64)
+        return ServingResult(
+            latencies=latencies,
+            makespan_s=makespan,
+            replicas=stats,
+            batches=n_batches,
+        )

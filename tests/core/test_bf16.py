@@ -11,7 +11,6 @@ from repro.core.bf16 import (
     bf16_to_fp32,
     bf16_ulp,
     combine_fp32,
-    fp32_to_bf16_rne,
     quantize_bf16,
     split_fp32,
     truncate_lo_bits,

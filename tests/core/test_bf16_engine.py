@@ -1,7 +1,6 @@
 """The emulated-vdpbf16ps MLP engine (paper Sect. VII outlook)."""
 
 import numpy as np
-import pytest
 
 from repro.core.mlp import MLP, FullyConnected
 from repro.core.model import DLRM

@@ -9,7 +9,6 @@ from repro.core.config import (
     LARGE,
     MLPERF,
     SMALL,
-    DLRMConfig,
     get_config,
     table_one,
     table_two,

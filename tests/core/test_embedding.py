@@ -5,7 +5,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.bf16 import quantize_bf16
 from repro.core.embedding import (
     EmbeddingBag,
     SparseGrad,

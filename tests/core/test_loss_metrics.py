@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.core.loss import BCEWithLogitsLoss
-from repro.core.metrics import accuracy, log_loss, roc_auc
+from repro.core.metrics import accuracy, log_loss, midrank, roc_auc
 
 
 class TestBCEWithLogits:
@@ -120,6 +120,36 @@ class TestRocAuc:
         a = roc_auc(y, s)
         b = roc_auc(y, 4.0 * s)  # strictly increasing, precision-exact map
         assert a == pytest.approx(b, abs=1e-12)
+
+
+class TestMidrank:
+    def test_distinct_values_get_ordinal_ranks(self):
+        np.testing.assert_array_equal(
+            midrank(np.array([0.3, 0.1, 0.2])), [3.0, 1.0, 2.0]
+        )
+
+    def test_ties_share_the_mean_rank(self):
+        # Sorted positions of the 2.0-run are 2..4 (1-based) -> midrank 3.
+        np.testing.assert_array_equal(
+            midrank(np.array([2.0, 1.0, 2.0, 2.0, 5.0])),
+            [3.0, 1.0, 3.0, 3.0, 5.0],
+        )
+
+    def test_all_equal(self):
+        np.testing.assert_array_equal(midrank(np.zeros(4)), [2.5, 2.5, 2.5, 2.5])
+
+    def test_empty(self):
+        assert midrank(np.array([])).size == 0
+
+    @given(
+        hnp.arrays(np.float64, st.integers(1, 80), elements=st.floats(-5, 5, width=16))
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rank_sum_and_bounds(self, x):
+        r = midrank(x)
+        # Ranks always sum to n(n+1)/2 and lie in [1, n].
+        assert r.sum() == pytest.approx(x.size * (x.size + 1) / 2)
+        assert r.min() >= 1.0 and r.max() <= x.size
 
 
 class TestOtherMetrics:

@@ -51,7 +51,6 @@ class TestSplitSGD:
     def test_update_is_fp32_accurate(self, rng):
         """Split-SGD's master trajectory must equal plain FP32 SGD."""
         w0 = rng.standard_normal((5, 3)).astype(np.float32)
-        p_ref = Parameter(w0.copy())
         p_split = Parameter(w0.copy())
         opt = SplitSGD(lr=0.05)
         opt.register([p_split])

@@ -39,7 +39,6 @@ class TestBoundedZipf:
         assert uniq[counts.argmax()] == 0
 
     def test_scramble_preserves_count_distribution(self):
-        rng = np.random.default_rng(0)
         a = bounded_zipf(np.random.default_rng(7), 20_000, 100_000, scramble=False)
         b = bounded_zipf(np.random.default_rng(7), 20_000, 100_000, scramble=True)
         ca = np.sort(np.unique(a, return_counts=True)[1])

@@ -7,7 +7,6 @@ when fed the same shapes and index statistics -- closely matching
 charge totals.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.optim import SGD

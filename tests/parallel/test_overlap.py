@@ -35,7 +35,7 @@ class TestPaperConfiguration:
         assert first_processed.allgather == 0.0
 
     def test_every_layer_reduce_scatters(self, report):
-        assert all(l.reduce_scatter > 0 for l in report.layers)
+        assert all(lay.reduce_scatter > 0 for lay in report.layers)
 
 
 class TestScalingBehaviour:

@@ -1,0 +1,95 @@
+"""Serving cost model and SLA accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import get_config
+from repro.serve.sla import ServingCost, latency_report, sla_frontier
+
+
+@pytest.fixture(scope="module")
+def cost():
+    return ServingCost(get_config("mlperf"))
+
+
+class TestServingCost:
+    def test_monotonic_in_batch_size(self, cost):
+        times = [cost.batch_time(n) for n in (8, 64, 512)]
+        assert times[0] < times[1] < times[2]
+
+    def test_batching_amortises_per_sample_cost(self, cost):
+        """The whole point of micro-batching: cost/sample falls with N."""
+        per_sample = [cost.batch_time(n) / n for n in (1, 32, 512)]
+        assert per_sample[0] > per_sample[1] > per_sample[2]
+
+    def test_cache_hits_reduce_embedding_time(self, cost):
+        cold = cost.batch_time(256, hit_rate=0.0)
+        warm = cost.batch_time(256, hit_rate=0.9)
+        assert warm < cold
+        # The gap is exactly the embedding read-side difference.
+        lookups = 256 * cost.cfg.num_tables * cost.cfg.lookups_per_table
+        bags = 256 * cost.cfg.num_tables
+        want = cost.embedding_time(lookups, bags, 0.0) - cost.embedding_time(
+            lookups, bags, 0.9
+        )
+        assert cold - warm == pytest.approx(want)
+
+    def test_full_hit_rate_still_pays_fast_tier(self, cost):
+        t = cost.embedding_time(1000, 100, 1.0)
+        assert t > 0
+
+    def test_validation(self, cost):
+        with pytest.raises(ValueError):
+            cost.batch_time(0)
+        with pytest.raises(ValueError):
+            cost.embedding_time(10, 10, 1.5)
+        with pytest.raises(ValueError):
+            ServingCost(get_config("mlperf"), fast_tier_bw_factor=0.5)
+
+
+class TestLatencyReport:
+    def test_percentiles_and_qps(self):
+        lat = np.linspace(1e-3, 100e-3, 100)
+        rep = latency_report(lat, duration_s=2.0)
+        assert rep.count == 100
+        assert rep.qps == pytest.approx(50.0)
+        assert rep.p50_s == pytest.approx(np.percentile(lat, 50))
+        assert rep.p95_s == pytest.approx(np.percentile(lat, 95))
+        assert rep.p99_s == pytest.approx(np.percentile(lat, 99))
+        assert rep.p50_s < rep.p95_s < rep.p99_s <= rep.max_s
+
+    def test_row_is_in_milliseconds(self):
+        rep = latency_report([0.002, 0.004], duration_s=1.0)
+        row = rep.row()
+        assert row["p50_ms"] == pytest.approx(3.0)
+        assert row["requests"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            latency_report([], 1.0)
+        with pytest.raises(ValueError):
+            latency_report([-0.1], 1.0)
+        with pytest.raises(ValueError):
+            latency_report([0.1], 0.0)
+
+
+class TestFrontier:
+    ROWS = [
+        {"label": "tight", "qps": 1000.0, "p99_ms": 2.0},
+        {"label": "mid", "qps": 3000.0, "p99_ms": 8.0},
+        {"label": "wide", "qps": 3500.0, "p99_ms": 40.0},
+    ]
+
+    def test_picks_best_feasible_point_per_sla(self):
+        out = sla_frontier(self.ROWS, [1.0, 5.0, 10.0, 100.0])
+        by_sla = {r["sla_p99_ms"]: r for r in out}
+        assert by_sla[1.0]["operating_point"] == "(none)"
+        assert by_sla[1.0]["best_qps"] == 0.0
+        assert by_sla[5.0]["operating_point"] == "tight"
+        assert by_sla[10.0]["operating_point"] == "mid"
+        assert by_sla[100.0]["operating_point"] == "wide"
+
+    def test_frontier_qps_is_monotone_in_sla(self):
+        out = sla_frontier(self.ROWS, [1.0, 5.0, 10.0, 100.0])
+        qps = [r["best_qps"] for r in out]
+        assert qps == sorted(qps)

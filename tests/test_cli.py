@@ -47,6 +47,21 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["fig99"])
 
+    def test_serve_subcommand(self, capsys):
+        assert main(
+            [
+                "serve", "--requests", "100", "--policy", "adaptive",
+                "--budgets-ms", "1", "5", "--replicas", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "p99_ms" in out and "adaptive" in out
+        assert "Throughput-under-SLA frontier" in out
+
+    def test_serve_validates_policy(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--policy", "fifo"])
+
     def test_fig16_tiny(self, capsys):
         assert main(
             ["fig16", "--epoch-batches", "4", "--eval-points", "2"]
