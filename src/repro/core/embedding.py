@@ -23,6 +23,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.bf16 import bf16_to_fp32, combine_fp32, split_fp32, truncate_lo_bits
+from repro.kernels.segment import (
+    aggregate_bag_duplicates,
+    aggregate_duplicates,
+    scatter_add_bags,
+    scatter_add_exact,
+    segment_sum_ragged,
+)
 
 
 @dataclass
@@ -52,11 +59,12 @@ class SparseGrad:
         return int(self.indices.shape[0])
 
     def aggregated(self) -> tuple[np.ndarray, np.ndarray]:
-        """(unique_indices, summed_values): duplicates folded together."""
-        uniq, inverse = np.unique(self.indices, return_inverse=True)
-        agg = np.zeros((uniq.shape[0], self.values.shape[1]), dtype=np.float32)
-        np.add.at(agg, inverse, self.values)
-        return uniq, agg
+        """(unique_indices, summed_values): duplicates folded together.
+
+        Runs the sort-based segment kernel; bit-identical to the naive
+        ``np.unique`` + ``np.add.at`` formulation it replaced.
+        """
+        return aggregate_duplicates(self.indices, self.values)
 
     def scaled(self, factor: float) -> "SparseGrad":
         return SparseGrad(self.indices, self.values * np.float32(factor))
@@ -65,26 +73,20 @@ class SparseGrad:
 def segment_sum(rows: np.ndarray, offsets: np.ndarray) -> np.ndarray:
     """Sum ``rows`` into segments delimited by ``offsets`` (N+1 entries).
 
-    Fast paths: equal-length bags reshape+sum; ragged bags fall back to an
-    unbuffered scatter-add (the NumPy analogue of Alg. 1's inner loop).
-    Empty bags yield zero rows.
+    Validates the segment structure, then runs the length-bucketed
+    kernel of :mod:`repro.kernels.segment` -- bit-identical to the
+    unbuffered scatter-add it replaced (the NumPy analogue of Alg. 1's
+    inner loop).  Empty bags yield zero rows.
     """
     offsets = np.asarray(offsets, dtype=np.int64)
     if offsets.ndim != 1 or offsets.size < 1:
         raise ValueError("offsets must be a 1-D array of N+1 entries")
-    n = offsets.size - 1
-    e = rows.shape[1]
     lengths = np.diff(offsets)
     if (lengths < 0).any():
         raise ValueError("offsets must be non-decreasing")
     if offsets[0] != 0 or offsets[-1] != rows.shape[0]:
         raise ValueError("offsets must span exactly the rows array")
-    if n > 0 and lengths.min() == lengths.max() and lengths[0] > 0:
-        return rows.reshape(n, int(lengths[0]), e).sum(axis=1, dtype=np.float32)
-    out = np.zeros((n, e), dtype=np.float32)
-    bag_ids = np.repeat(np.arange(n), lengths)
-    np.add.at(out, bag_ids, rows)
-    return out
+    return segment_sum_ragged(rows, offsets)
 
 
 class EmbeddingBag:
@@ -131,9 +133,31 @@ class EmbeddingBag:
 
         This is the numerically-exact effect every update strategy of
         Sect. III-A must produce (atomics, RTM and the race-free
-        partitioning only change *how* concurrently it happens).
+        partitioning only change *how* concurrently it happens).  Runs
+        the sort-based fold kernel, bit-identical to
+        :meth:`scatter_add_rows_reference`.
         """
+        scatter_add_exact(self.weight, np.asarray(indices, dtype=np.int64), deltas)
+
+    def scatter_add_rows_reference(self, indices: np.ndarray, deltas: np.ndarray) -> None:
+        """The seed's naive formulation (unbuffered ``np.add.at``); kept
+        as the bit-identity oracle for tests and ``bench_hotpath``."""
         np.add.at(self.weight, np.asarray(indices, dtype=np.int64), deltas)
+
+    def apply_bag_updates(
+        self, bag_grads: np.ndarray, bag_ids: np.ndarray, indices: np.ndarray
+    ) -> None:
+        """``W[indices[i]] += bag_grads[bag_ids[i]]`` without expansion.
+
+        The fused backward+update entry point: per-lookup deltas are
+        read from the small per-bag gradient array instead of a
+        ``np.repeat``-materialised ``dW``.  Bit-identical to
+        ``backward()`` followed by :meth:`scatter_add_rows` on the
+        (pre-scaled) gradient.
+        """
+        scatter_add_bags(
+            self.weight, np.asarray(indices, dtype=np.int64), bag_grads, bag_ids
+        )
 
     def capacity_bytes(self) -> int:
         """Model + optimizer-state bytes held for this table."""
@@ -207,10 +231,26 @@ class SplitEmbeddingBag(EmbeddingBag):
     def scatter_add_rows(self, indices: np.ndarray, deltas: np.ndarray) -> None:
         # Aggregate duplicates first, then run the update at full FP32
         # accuracy on the reconstructed rows (the Split-SGD trick).
+        uniq, agg = aggregate_duplicates(np.asarray(indices, dtype=np.int64), deltas)
+        self._apply_aggregated(uniq, agg)
+
+    def scatter_add_rows_reference(self, indices: np.ndarray, deltas: np.ndarray) -> None:
+        """The seed's naive formulation (``np.unique`` + ``np.add.at``)."""
         indices = np.asarray(indices, dtype=np.int64)
         uniq, inverse = np.unique(indices, return_inverse=True)
         agg = np.zeros((uniq.shape[0], self.dim), dtype=np.float32)
         np.add.at(agg, inverse, deltas)
+        self._apply_aggregated(uniq, agg)
+
+    def apply_bag_updates(
+        self, bag_grads: np.ndarray, bag_ids: np.ndarray, indices: np.ndarray
+    ) -> None:
+        uniq, agg = aggregate_bag_duplicates(
+            np.asarray(indices, dtype=np.int64), bag_grads, bag_ids
+        )
+        self._apply_aggregated(uniq, agg)
+
+    def _apply_aggregated(self, uniq: np.ndarray, agg: np.ndarray) -> None:
         rows = combine_fp32(self.hi[uniq], self.lo[uniq])
         rows = rows + agg
         hi, lo = split_fp32(rows)

@@ -26,6 +26,7 @@ from repro.kernels.blocked import (
     choose_blocking,
 )
 from repro.kernels.gemm import FlopCounter, blocked_matmul
+from repro.kernels.workspace import Workspace
 
 #: GEMM execution engines: plain matmul (the MKL baseline), the blocked
 #: batch-reduce path (Alg. 5), and an emulated-``vdpbf16ps`` path that
@@ -44,26 +45,64 @@ def relu_grad(dy: np.ndarray, y: np.ndarray) -> np.ndarray:
     return dy * (y > 0.0)
 
 
-def sigmoid(x: np.ndarray) -> np.ndarray:
-    out = np.empty_like(x, dtype=np.float32)
+def sigmoid(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Numerically-stable sigmoid; ``out`` may alias ``x`` (epilogues
+    overwrite the GEMM result in place, killing the last allocation)."""
+    x = np.asarray(x)
+    if out is None:
+        out = np.empty_like(x, dtype=np.float32)
     pos = x >= 0
+    neg = ~pos
+    # The masked gathers copy before the masked writes land, so an
+    # aliased ``out`` is safe: each element is read once, written once.
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
+    ex = np.exp(x[neg])
+    out[neg] = ex / (1.0 + ex)
     return out
 
 
-def _blocked_gemm_nt(x: np.ndarray, w: np.ndarray, threads: int, counter: FlopCounter | None) -> np.ndarray:
-    """``x[N, C] @ w[K, C]^T`` through the blocked layouts of Alg. 5."""
+def _blocked_gemm_nt(
+    x: np.ndarray,
+    w: np.ndarray,
+    threads: int,
+    counter: FlopCounter | None,
+    observe: bool = False,
+) -> np.ndarray:
+    """``x[N, C] @ w[K, C]^T`` through the blocked layouts of Alg. 5.
+
+    ``observe=False`` (the default hot path) accounts the whole GEMM on
+    ``counter`` analytically and lets :func:`blocked_matmul` take its
+    single-tensordot fast path; ``observe=True`` threads the counter
+    through for per-block accounting, which forces the per-work-item
+    loop (the observable/testable decomposition).  Total flops are
+    identical either way -- the blocks tile the GEMM exactly.
+    """
     n, c = x.shape
     k = w.shape[0]
     layout = choose_blocking(n, c, k)
     x4 = block_activation(x, layout.bn, layout.bc)
     w4 = block_weight(w, layout.bc, layout.bk)
+    if not observe and counter is not None:
+        counter.add_gemm(n, k, c)
+        counter = None
     y4 = blocked_matmul(x4, w4, layout, threads=threads, counter=counter)
     kb, nb, bn, bk = y4.shape
     # y4 is [Kb][Nb][bn][bk]; flatten back to [N, K].
     return np.ascontiguousarray(y4.transpose(1, 2, 0, 3).reshape(nb * bn, kb * bk))
+
+
+def _matmul_into(ws: Workspace, key: str, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` into the workspace buffer named ``key``.
+
+    Falls back to a fresh allocation when either operand aliases the
+    buffer (self-feeding calls: the GEMM must never write what it is
+    reading).
+    """
+    out = ws.take(key, (a.shape[0], b.shape[1]))
+    if np.may_share_memory(a, out) or np.may_share_memory(b, out):
+        return a @ b
+    np.matmul(a, b, out=out)
+    return out
 
 
 class FullyConnected:
@@ -84,6 +123,7 @@ class FullyConnected:
         engine: str = "reference",
         threads: int = 28,
         name: str = "",
+        observe_blocks: bool = False,
     ):
         if in_features <= 0 or out_features <= 0:
             raise ValueError("feature dimensions must be positive")
@@ -103,16 +143,34 @@ class FullyConnected:
         self.activation = activation
         self.engine = engine
         self.threads = threads
+        #: True forces the blocked engine through the per-block loop so
+        #: the Alg. 5 decomposition stays observable (tests, breakdowns);
+        #: False (default) lets it use the single-matmul fast path.
+        self.observe_blocks = observe_blocks
         self.flops = FlopCounter()
+        #: Scratch arena: GEMM outputs and backward intermediates live in
+        #: grow-only buffers, so steady-state steps allocate nothing.
+        self._ws = Workspace()
         self._x: np.ndarray | None = None
         self._y: np.ndarray | None = None
 
     def parameters(self) -> list[Parameter]:
         return [self.weight, self.bias]
 
+    @property
+    def workspace_bytes(self) -> int:
+        """Resident scratch bytes of this layer's arena."""
+        return self._ws.nbytes
+
     # -- passes ----------------------------------------------------------------
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        """One training forward pass.
+
+        The returned array lives in this layer's workspace (reference
+        engine): it stays valid until the *next* forward through the
+        same layer; callers that keep results across steps must copy.
+        """
         x = np.ascontiguousarray(x, dtype=np.float32)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
@@ -120,18 +178,20 @@ class FullyConnected:
             )
         self._x = x
         if self.engine == "blocked":
-            z = _blocked_gemm_nt(x, self.weight.value, self.threads, self.flops)
+            z = _blocked_gemm_nt(
+                x, self.weight.value, self.threads, self.flops, self.observe_blocks
+            )
         elif self.engine == "bf16":
             self.flops.add_gemm(x.shape[0], self.out_features, self.in_features)
             z = bf16_dot(x, self.weight.value.T)
         else:
             self.flops.add_gemm(x.shape[0], self.out_features, self.in_features)
-            z = x @ self.weight.value.T
+            z = _matmul_into(self._ws, "fwd.z", x, self.weight.value.T)
         z += self.bias.value
         if self.activation == "relu":
-            z = relu(z)
+            np.maximum(z, 0.0, out=z)
         elif self.activation == "sigmoid":
-            z = sigmoid(z)
+            sigmoid(z, out=z)
         self._y = z
         return z
 
@@ -157,7 +217,9 @@ class FullyConnected:
             and out.flags["C_CONTIGUOUS"]
         )
         if self.engine == "blocked":
-            z = _blocked_gemm_nt(x, self.weight.value, self.threads, self.flops)
+            z = _blocked_gemm_nt(
+                x, self.weight.value, self.threads, self.flops, self.observe_blocks
+            )
         elif self.engine == "bf16":
             self.flops.add_gemm(x.shape[0], self.out_features, self.in_features)
             z = bf16_dot(x, self.weight.value.T)
@@ -175,20 +237,30 @@ class FullyConnected:
         if self.activation == "relu":
             np.maximum(z, 0.0, out=z)
         elif self.activation == "sigmoid":
-            z[...] = sigmoid(z)
+            sigmoid(z, out=z)
         return z
 
     def backward(self, dy: np.ndarray) -> np.ndarray:
-        """Backward-by-weights (into .grad) and backward-by-data (returned)."""
+        """Backward-by-weights (into .grad) and backward-by-data (returned).
+
+        Like :meth:`forward`, the returned ``dx`` and the internal
+        intermediates live in the layer's workspace; they are
+        overwritten by the next backward through this layer.
+        """
         if self._x is None or self._y is None:
             raise RuntimeError("backward called before forward")
         dy = np.ascontiguousarray(dy, dtype=np.float32)
         if dy.shape != self._y.shape:
             raise ValueError(f"dy shape {dy.shape} != output {self._y.shape}")
         if self.activation == "relu":
-            dz = relu_grad(dy, self._y)
+            dz = self._ws.take("bwd.dz", dy.shape)
+            np.multiply(dy, self._y > 0.0, out=dz)
         elif self.activation == "sigmoid":
-            dz = dy * self._y * (1.0 - self._y)
+            dz = self._ws.take("bwd.dz", dy.shape)
+            np.multiply(dy, self._y, out=dz)
+            one_minus_y = self._ws.take("bwd.one_minus_y", dy.shape)
+            np.subtract(1.0, self._y, out=one_minus_y)
+            dz *= one_minus_y
         else:
             dz = dy
         if self.engine == "blocked":
@@ -197,11 +269,12 @@ class FullyConnected:
             # recast so the batch-reduce kernel reduces over N.
             dw = _blocked_gemm_nt(
                 np.ascontiguousarray(dz.T), np.ascontiguousarray(self._x.T),
-                self.threads, self.flops,
+                self.threads, self.flops, self.observe_blocks,
             )
             # BWD_D: dX[N, C] = dz[N, K] @ W[K, C].
             dx = _blocked_gemm_nt(
-                dz, np.ascontiguousarray(self.weight.value.T), self.threads, self.flops
+                dz, np.ascontiguousarray(self.weight.value.T),
+                self.threads, self.flops, self.observe_blocks,
             )
         elif self.engine == "bf16":
             # Both backward GEMMs through the emulated BF16 dot product.
@@ -211,9 +284,9 @@ class FullyConnected:
             dx = bf16_dot(dz, self.weight.value)
         else:
             self.flops.add_gemm(self.out_features, self.in_features, dz.shape[0])
-            dw = dz.T @ self._x
+            dw = _matmul_into(self._ws, "bwd.dw", dz.T, self._x)
             self.flops.add_gemm(dz.shape[0], self.in_features, self.out_features)
-            dx = dz @ self.weight.value
+            dx = _matmul_into(self._ws, "bwd.dx", dz, self.weight.value)
         self.weight.accumulate_grad(dw)
         self.bias.accumulate_grad(dz.sum(axis=0))
         return dx
@@ -259,6 +332,11 @@ class MLP:
     @property
     def out_features(self) -> int:
         return self.layers[-1].out_features
+
+    @property
+    def workspace_bytes(self) -> int:
+        """Resident scratch bytes across all layers' arenas."""
+        return sum(layer.workspace_bytes for layer in self.layers)
 
     def parameters(self) -> list[Parameter]:
         return [p for layer in self.layers for p in layer.parameters()]

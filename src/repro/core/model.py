@@ -25,6 +25,7 @@ from repro.core.loss import BCEWithLogitsLoss
 from repro.core.mlp import MLP, sigmoid
 from repro.core.optim import SGD
 from repro.core.param import Parameter
+from repro.core.update import FusedBackwardUpdate
 from repro.util import rng_from
 
 
@@ -218,10 +219,32 @@ class DLRM:
         self.sparse_grads.clear()
 
     def train_step(self, batch: Batch, opt: SGD, normalizer: float | None = None) -> float:
-        """One SGD iteration; returns the (normalised) loss."""
+        """One SGD iteration; returns the (normalised) loss.
+
+        When the optimizer's sparse strategy is
+        :class:`~repro.core.update.FusedBackwardUpdate` (and the
+        optimizer uses the plain SGD sparse step), Alg. 2's sparse
+        gradient is never materialised: the bag-level embedding-output
+        gradients feed the table update directly, bit-identical to the
+        materialising path.
+        """
+        strategy = getattr(opt, "strategy", None)
+        fused = isinstance(strategy, FusedBackwardUpdate) and (
+            type(opt).step_sparse is SGD.step_sparse
+        )
         loss = self.loss(batch, normalizer=normalizer)
-        self.backward()
-        self.apply_updates(opt)
+        if not fused:
+            self.backward()
+            self.apply_updates(opt)
+            return loss
+        dlogits = self.loss_fn.backward()
+        dembs = self.dense_backward(dlogits, batch)
+        self.sparse_grads.clear()
+        opt.step_dense(self.parameters())
+        for t in self.table_ids:
+            strategy.apply_fused(
+                self.tables[t], dembs[t], batch.indices[t], batch.offsets[t], opt.lr
+            )
         return loss
 
     def predict_proba(self, batch: Batch) -> np.ndarray:

@@ -28,6 +28,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.core.embedding import EmbeddingBag, SparseGrad
+from repro.kernels.segment import bucket_by_row_ranges
 from repro.kernels.threads import row_range_for_thread
 
 
@@ -79,9 +80,13 @@ class RTMUpdate(UpdateStrategy):
 class RaceFreeUpdate(UpdateStrategy):
     """Alg. 4: row-range partitioning over ``threads`` workers.
 
-    The partition is executed for real (sequentially, range by range) so
-    tests can assert both the equivalence with the direct scatter-add and
-    the per-thread work counts that feed the cost model's imbalance term.
+    Single pass: one ``searchsorted`` buckets every index into its
+    owning thread's row range and one ``bincount`` yields the per-thread
+    work counts that feed the cost model's imbalance term -- replacing
+    the ``threads`` full-array mask scans of the seed implementation
+    (kept as :meth:`apply_reference`, the bit-identity oracle).  Because
+    the row ranges are disjoint, the partitioned update equals one
+    direct scatter-add, which runs through the sort-based fold kernel.
     """
 
     cost_key = "racefree"
@@ -94,6 +99,14 @@ class RaceFreeUpdate(UpdateStrategy):
         self.last_thread_counts: np.ndarray | None = None
 
     def apply(self, table: EmbeddingBag, grad: SparseGrad, lr: float) -> None:
+        self.last_thread_counts = bucket_by_row_ranges(
+            grad.indices, table.rows, self.threads
+        )
+        if grad.nnz:
+            table.scatter_add_rows(grad.indices, -np.float32(lr) * grad.values)
+
+    def apply_reference(self, table: EmbeddingBag, grad: SparseGrad, lr: float) -> None:
+        """The seed's formulation: per-thread mask scans + ``np.add.at``."""
         deltas = -np.float32(lr) * grad.values
         counts = np.zeros(self.threads, dtype=np.int64)
         for tid in range(self.threads):
@@ -101,15 +114,22 @@ class RaceFreeUpdate(UpdateStrategy):
             mask = (grad.indices >= lo) & (grad.indices < hi)
             counts[tid] = int(mask.sum())
             if counts[tid]:
-                table.scatter_add_rows(grad.indices[mask], deltas[mask])
+                table.scatter_add_rows_reference(grad.indices[mask], deltas[mask])
         self.last_thread_counts = counts
 
 
 class FusedBackwardUpdate(UpdateStrategy):
     """Backward+update fused into one pass (standalone 1.6x experiment).
 
-    Numerically identical to the race-free update; the fusion only skips
-    materialising ``dW`` (which this simulator models in time, not data).
+    :meth:`apply_fused` is the real fusion: given the *bag-level* output
+    gradient it applies every per-lookup delta by reading straight from
+    the small ``(N, E)`` gradient array -- Alg. 2's ``np.repeat``
+    materialisation of ``dW`` never happens, and neither does the
+    separate update pass over it.  Bit-identical to
+    ``EmbeddingBag.backward`` followed by the race-free update.
+    :meth:`apply` keeps the plain :class:`SparseGrad` interface for
+    callers that already materialised the gradient (e.g. the
+    distributed runtime, which ships gradients between ranks).
     """
 
     cost_key = "fused"
@@ -117,8 +137,35 @@ class FusedBackwardUpdate(UpdateStrategy):
     def __init__(self, threads: int = 28):
         self._inner = RaceFreeUpdate(threads)
 
+    @property
+    def threads(self) -> int:
+        return self._inner.threads
+
+    @property
+    def last_thread_counts(self) -> np.ndarray | None:
+        return self._inner.last_thread_counts
+
     def apply(self, table: EmbeddingBag, grad: SparseGrad, lr: float) -> None:
         self._inner.apply(table, grad, lr)
+
+    def apply_fused(
+        self,
+        table: EmbeddingBag,
+        grad_out: np.ndarray,
+        indices: np.ndarray,
+        offsets: np.ndarray,
+        lr: float,
+    ) -> None:
+        """Alg. 2 + Alg. 3/4 in one pass over the lookups of one table."""
+        indices, offsets = table._check_lookup(indices, offsets)
+        lengths = np.diff(offsets)
+        bag_ids = np.repeat(np.arange(offsets.shape[0] - 1), lengths)
+        scaled = -np.float32(lr) * np.ascontiguousarray(grad_out, dtype=np.float32)
+        self._inner.last_thread_counts = bucket_by_row_ranges(
+            indices, table.rows, self._inner.threads
+        )
+        if indices.size:
+            table.apply_bag_updates(scaled, bag_ids, indices)
 
 
 STRATEGIES: dict[str, type[UpdateStrategy]] = {

@@ -20,13 +20,33 @@ from repro.kernels.gemm import (
     blocked_matmul,
     FlopCounter,
 )
+from repro.kernels.segment import (
+    SegmentPlan,
+    aggregate_bag_duplicates,
+    aggregate_duplicates,
+    bucket_by_row_ranges,
+    plan_segments,
+    scatter_add_bags,
+    scatter_add_exact,
+    segment_sum_ragged,
+)
 from repro.kernels.threads import (
     static_partition,
     row_range_for_thread,
     partition_balance,
 )
+from repro.kernels.workspace import Workspace
 
 __all__ = [
+    "SegmentPlan",
+    "aggregate_bag_duplicates",
+    "aggregate_duplicates",
+    "bucket_by_row_ranges",
+    "plan_segments",
+    "scatter_add_bags",
+    "scatter_add_exact",
+    "segment_sum_ragged",
+    "Workspace",
     "BlockedLayout",
     "block_activation",
     "unblock_activation",

@@ -1,0 +1,320 @@
+"""Sort-based segment kernels for the sparse embedding hot path.
+
+The embedding forward/backward/update passes all reduce to one primitive:
+*sum value rows into segments keyed by a row id*.  The naive NumPy
+spelling is ``np.add.at`` -- an unbuffered per-element scatter that is
+correct but executes one indexed add at a time.  These kernels replace it
+with a stable counting sort (radix on integer keys) followed by
+*length-bucketed* gathers and vectorized axis sums, the same
+tile-the-gather-scatter restructuring HEAT applies to CPU embedding
+kernels.
+
+Bit-identity contract
+---------------------
+Every optimized kernel reproduces the exact FP32 result of its
+``np.add.at`` reference formulation, not just an allclose approximation.
+This works because of two NumPy facts (pinned by the test suite):
+
+* ``np.add.at`` applies updates element-by-element in array order, so the
+  value a row ends with is a *sequential left fold* of its contributions
+  in their original order.
+* Summing a 3-D array over a **strided** (non-innermost) axis --
+  ``buf[B, L, E].sum(axis=1)`` with ``E >= 2`` -- is also a sequential
+  left fold over ``L``: NumPy's pairwise summation only engages when the
+  reduction runs along the contiguous innermost axis.
+
+A stable sort preserves the original order of duplicate keys, so folding
+each sorted run left-to-right is the same fold ``np.add.at`` performs.
+For in-place scatters (``W[i] += d`` with a *non-zero* initial row) the
+fold must *start* from the current weight row; the kernels splice the
+initial rows in as element 0 of every segment before summing.  The one
+shape that cannot be expressed this way is ``E == 1`` (the reduction
+axis becomes contiguous and pairwise summation changes the bits); those
+fall back to the reference formulation.
+
+The ``*_reference`` functions are the naive formulations themselves,
+kept as the oracle for tests and for ``benchmarks/bench_hotpath.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+_INT32_MAX = np.iinfo(np.int32).max
+
+
+@dataclass(frozen=True)
+class SegmentPlan:
+    """Grouping of a flat index vector into sorted, contiguous segments.
+
+    ``order`` is a *stable* sort permutation: ``indices[order]`` is
+    non-decreasing and ties keep their original order (the property the
+    bit-identity contract rests on).  Segment ``j`` covers sorted
+    positions ``[starts[j], starts[j] + lengths[j])`` and holds every
+    occurrence of row ``uniq[j]``.
+    """
+
+    order: np.ndarray  # (NS,) int64: stable sort permutation
+    sorted_rows: np.ndarray  # (NS,) int64: indices[order]
+    uniq: np.ndarray  # (U,) int64: distinct rows, ascending
+    starts: np.ndarray  # (U,) int64: segment starts in sorted order
+    lengths: np.ndarray  # (U,) int64: segment lengths (all >= 1)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.order.shape[0])
+
+
+def plan_segments(indices: np.ndarray) -> SegmentPlan:
+    """Stable-sort ``indices`` and delimit its duplicate runs."""
+    indices = np.ascontiguousarray(indices, dtype=np.int64)
+    if indices.ndim != 1:
+        raise ValueError("indices must be 1-D")
+    nnz = indices.shape[0]
+    empty = np.empty(0, dtype=np.int64)
+    if nnz == 0:
+        return SegmentPlan(empty, empty, empty, empty, empty)
+    # Row ids in this simulator fit 32 bits; the radix sort on 4-byte
+    # keys is measurably faster than on int64.
+    keys = indices
+    if 0 <= indices.min() and indices.max() <= _INT32_MAX:
+        keys = indices.astype(np.int32)
+    order = np.argsort(keys, kind="stable")
+    sorted_rows = indices[order]
+    newseg = np.empty(nnz, dtype=bool)
+    newseg[0] = True
+    np.not_equal(sorted_rows[1:], sorted_rows[:-1], out=newseg[1:])
+    starts = np.flatnonzero(newseg)
+    uniq = sorted_rows[starts]
+    lengths = np.diff(np.append(starts, nnz))
+    return SegmentPlan(order, sorted_rows, uniq, starts, lengths)
+
+
+def _bucketed_fold(
+    values: np.ndarray,
+    rowmap: np.ndarray,
+    starts: np.ndarray,
+    lengths: np.ndarray,
+    initial: np.ndarray | None = None,
+) -> np.ndarray:
+    """Left-fold each segment of ``values[rowmap]``; returns ``(U, E)``.
+
+    ``rowmap[p]`` names the ``values`` row holding the ``p``-th sorted
+    contribution, which lets callers feed either pre-permuted per-lookup
+    values (``rowmap = plan.order``) or shared per-bag gradients
+    (``rowmap = bag_ids[plan.order]``) without materialising the
+    expanded ``(NS, E)`` array.  Segments are bucketed by length so each
+    distinct length costs one gather plus one vectorized strided-axis
+    sum -- the sequential fold ``np.add.at`` performs, batched.  When
+    ``initial`` is given (one row per segment) the fold starts from it,
+    exactly like an in-place ``W[i] += d`` scatter.
+    """
+    e = values.shape[1]
+    out = np.empty((starts.shape[0], e), dtype=values.dtype)
+    for ln in np.unique(lengths):
+        sel = np.flatnonzero(lengths == ln)
+        gpos = starts[sel][:, None] + np.arange(ln)
+        if initial is None:
+            out[sel] = values[rowmap[gpos]].sum(axis=1)
+        else:
+            buf = np.empty((sel.shape[0], int(ln) + 1, e), dtype=values.dtype)
+            buf[:, 0] = initial[sel]
+            buf[:, 1:] = values[rowmap[gpos]]
+            out[sel] = buf.sum(axis=1)
+    return out
+
+
+# -- contiguous (bag-pooled) segments ---------------------------------------
+
+
+def segment_sum_ragged(
+    rows: np.ndarray, offsets: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """Sum already-contiguous segments ``rows[offsets[n]:offsets[n+1]]``.
+
+    The pooled forward pass (Alg. 1): bags are bucketed by length so
+    ragged lookups cost one gather+sum per distinct length instead of
+    one scatter per row.  Bit-identical to
+    :func:`segment_sum_reference`; empty bags yield zero rows.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    n = offsets.shape[0] - 1
+    e = rows.shape[1]
+    if out is None:
+        out = np.zeros((n, e), dtype=np.float32)
+    else:
+        out[...] = 0.0
+    if n == 0 or rows.shape[0] == 0:
+        return out
+    if e == 1:  # contiguous reduction axis: pairwise summation differs
+        return segment_sum_reference(rows, offsets, out=out)
+    lengths = np.diff(offsets)
+    if lengths.min() == lengths.max():
+        # Equal-length bags are one reshape away from a single sum.
+        out[...] = rows.reshape(n, int(lengths[0]), e).sum(axis=1, dtype=np.float32)
+        return out
+    starts = offsets[:-1]
+    for ln in np.unique(lengths):
+        if ln == 0:
+            continue
+        sel = np.flatnonzero(lengths == ln)
+        gpos = starts[sel][:, None] + np.arange(ln)
+        out[sel] = rows[gpos].sum(axis=1, dtype=np.float32)
+    return out
+
+
+def segment_sum_reference(
+    rows: np.ndarray, offsets: np.ndarray, out: np.ndarray | None = None
+) -> np.ndarray:
+    """The naive formulation: ``np.add.at`` over repeated bag ids."""
+    offsets = np.asarray(offsets, dtype=np.int64)
+    n = offsets.shape[0] - 1
+    if out is None:
+        out = np.zeros((n, rows.shape[1]), dtype=np.float32)
+    else:
+        out[...] = 0.0
+    if n and rows.shape[0]:
+        bag_ids = np.repeat(np.arange(n), np.diff(offsets))
+        np.add.at(out, bag_ids, rows)
+    return out
+
+
+# -- duplicate aggregation ---------------------------------------------------
+
+
+def aggregate_duplicates(
+    indices: np.ndarray,
+    values: np.ndarray,
+    plan: SegmentPlan | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(unique_rows, folded_sums): duplicates folded in original order.
+
+    Bit-identical to :func:`aggregate_duplicates_reference` (the
+    ``np.unique`` + ``np.add.at`` spelling) for ``E >= 2``.
+    """
+    values = np.ascontiguousarray(values, dtype=np.float32)
+    if values.shape[1] == 1:
+        return aggregate_duplicates_reference(indices, values)
+    if plan is None:
+        plan = plan_segments(indices)
+    if plan.nnz == 0:
+        return plan.uniq, np.zeros((0, values.shape[1]), dtype=np.float32)
+    sums = _bucketed_fold(values, plan.order, plan.starts, plan.lengths)
+    return plan.uniq, sums
+
+
+def aggregate_bag_duplicates(
+    indices: np.ndarray,
+    bag_grads: np.ndarray,
+    bag_ids: np.ndarray,
+    plan: SegmentPlan | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Like :func:`aggregate_duplicates` with values given *per bag*.
+
+    Lookup ``i`` contributes ``bag_grads[bag_ids[i]]``; the expanded
+    ``(NS, E)`` value array (``np.repeat`` in the naive backward) is
+    never materialised -- the fused backward+update path.
+    """
+    bag_grads = np.ascontiguousarray(bag_grads, dtype=np.float32)
+    if bag_grads.shape[1] == 1:
+        return aggregate_duplicates_reference(indices, bag_grads[bag_ids])
+    if plan is None:
+        plan = plan_segments(indices)
+    if plan.nnz == 0:
+        return plan.uniq, np.zeros((0, bag_grads.shape[1]), dtype=np.float32)
+    rowmap = np.asarray(bag_ids, dtype=np.int64)[plan.order]
+    sums = _bucketed_fold(bag_grads, rowmap, plan.starts, plan.lengths)
+    return plan.uniq, sums
+
+
+def aggregate_duplicates_reference(
+    indices: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """The naive formulation: ``np.unique`` + ``np.add.at`` on inverse."""
+    uniq, inverse = np.unique(np.asarray(indices, dtype=np.int64), return_inverse=True)
+    agg = np.zeros((uniq.shape[0], values.shape[1]), dtype=np.float32)
+    np.add.at(agg, inverse, values)
+    return uniq, agg
+
+
+# -- in-place scatter-add ----------------------------------------------------
+
+
+def scatter_add_exact(
+    weight: np.ndarray,
+    indices: np.ndarray,
+    deltas: np.ndarray,
+    plan: SegmentPlan | None = None,
+) -> None:
+    """``weight[indices] += deltas`` with duplicates folding in order.
+
+    Bit-identical to ``np.add.at(weight, indices, deltas)``: each
+    touched row is rewritten as the left fold of (current row, then its
+    deltas in original order).
+    """
+    deltas = np.ascontiguousarray(deltas, dtype=weight.dtype)
+    if weight.shape[1] == 1:
+        scatter_add_reference(weight, indices, deltas)
+        return
+    if plan is None:
+        plan = plan_segments(indices)
+    if plan.nnz == 0:
+        return
+    weight[plan.uniq] = _bucketed_fold(
+        deltas, plan.order, plan.starts, plan.lengths, initial=weight[plan.uniq]
+    )
+
+
+def scatter_add_bags(
+    weight: np.ndarray,
+    indices: np.ndarray,
+    bag_grads: np.ndarray,
+    bag_ids: np.ndarray,
+    plan: SegmentPlan | None = None,
+) -> None:
+    """Fused scatter: lookup ``i`` adds ``bag_grads[bag_ids[i]]``.
+
+    The backward's ``np.repeat`` expansion is skipped; values are read
+    straight from the small per-bag gradient array (cache-resident for
+    any realistic minibatch), which is where the fused backward+update
+    earns its keep on duplicate-heavy tables.
+    """
+    bag_grads = np.ascontiguousarray(bag_grads, dtype=weight.dtype)
+    if weight.shape[1] == 1:
+        scatter_add_reference(weight, indices, bag_grads[np.asarray(bag_ids)])
+        return
+    if plan is None:
+        plan = plan_segments(indices)
+    if plan.nnz == 0:
+        return
+    rowmap = np.asarray(bag_ids, dtype=np.int64)[plan.order]
+    weight[plan.uniq] = _bucketed_fold(
+        bag_grads, rowmap, plan.starts, plan.lengths, initial=weight[plan.uniq]
+    )
+
+
+def scatter_add_reference(
+    weight: np.ndarray, indices: np.ndarray, deltas: np.ndarray
+) -> None:
+    """The naive formulation: unbuffered ``np.add.at``."""
+    np.add.at(weight, np.asarray(indices, dtype=np.int64), deltas)
+
+
+# -- thread-range bucketing --------------------------------------------------
+
+
+def bucket_by_row_ranges(indices: np.ndarray, rows: int, threads: int) -> np.ndarray:
+    """Per-thread update counts under Alg. 4's static row partition.
+
+    One ``searchsorted`` over the closed-form range starts plus one
+    ``bincount`` replaces the ``threads`` full-array mask scans of the
+    naive race-free update.  Returns an ``(threads,)`` int64 count
+    vector identical to what the mask scans produce.
+    """
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    starts = (rows * np.arange(threads, dtype=np.int64)) // threads
+    tids = np.searchsorted(starts, np.asarray(indices, dtype=np.int64), side="right") - 1
+    return np.bincount(tids, minlength=threads).astype(np.int64)

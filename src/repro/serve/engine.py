@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.batch import Batch
 from repro.core.mlp import sigmoid
 from repro.core.model import DLRM
+from repro.kernels.workspace import Workspace
 
 
 class InferenceEngine:
@@ -31,10 +32,10 @@ class InferenceEngine:
                 f"serving needs a full replica; model is missing tables {missing}"
             )
         self.model = model
-        #: Capacity-sized buffers; batches score into ``buf[:n]`` views.
+        #: Grow-only arena of per-layer output buffers; batches score
+        #: into ``buf[:n]`` views of the capacity-sized allocations.
+        self._ws = Workspace()
         self._capacity = 0
-        self._bottom_bufs: list[np.ndarray] = []
-        self._top_bufs: list[np.ndarray] = []
         self.batches_scored = 0
         self.samples_scored = 0
         self.cold_calls = 0
@@ -42,35 +43,35 @@ class InferenceEngine:
 
     # -- buffers ------------------------------------------------------------
 
-    def _alloc(self, mlp, n: int) -> list[np.ndarray]:
-        return [
-            np.empty((n, layer.out_features), dtype=np.float32)
-            for layer in mlp.layers
-        ]
-
     def warmup(self, batch_size: int) -> None:
         """Preallocate for batches up to ``batch_size`` ahead of traffic."""
         self._workspace(batch_size)
 
+    def _layer_bufs(self, which: str, mlp, n: int) -> list[np.ndarray]:
+        return [
+            self._ws.take((which, i), (n, layer.out_features))
+            for i, layer in enumerate(mlp.layers)
+        ]
+
     def _workspace(self, n: int) -> tuple[list[np.ndarray], list[np.ndarray]]:
         if n > self._capacity:
-            self._bottom_bufs = self._alloc(self.model.bottom, n)
-            self._top_bufs = self._alloc(self.model.top, n)
             self._capacity = n
             self.cold_calls += 1
         else:
             self.warm_calls += 1
-        # A leading slice of a C-contiguous buffer is itself contiguous,
-        # so the MLP infer path can still write GEMMs straight into it.
-        return (
-            [b[:n] for b in self._bottom_bufs],
-            [b[:n] for b in self._top_bufs],
-        )
+        # Take at full capacity (so the arena never thrashes), then hand
+        # out leading slices: a leading slice of a C-contiguous buffer is
+        # itself contiguous, so the MLP infer path can still write GEMMs
+        # straight into it.
+        cap = self._capacity
+        bottom = self._layer_bufs("bottom", self.model.bottom, cap)
+        top = self._layer_bufs("top", self.model.top, cap)
+        return [b[:n] for b in bottom], [b[:n] for b in top]
 
     @property
     def workspace_bytes(self) -> int:
         """Resident bytes of the preallocated workspace."""
-        return sum(b.nbytes for b in self._bottom_bufs + self._top_bufs)
+        return self._ws.nbytes
 
     # -- scoring ------------------------------------------------------------
 

@@ -200,3 +200,90 @@ class TestConstruction:
     def test_rejects_bad_shape(self, rows, dim):
         with pytest.raises(ValueError):
             EmbeddingBag(rows, dim)
+
+
+class TestOptimizedKernelBitIdentity:
+    """The sort-based kernels must reproduce the naive np.add.at
+    formulations bit for bit (not just allclose) on every shape."""
+
+    @given(
+        rows=st.integers(1, 40),
+        n=st.integers(1, 20),
+        dim=st.integers(2, 9),
+        seed=st.integers(0, 1_000_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_segment_sum_vs_add_at(self, rows, n, dim, seed):
+        rng = np.random.default_rng(seed)
+        indices, offsets = make_lookup(rng, rows, n)
+        gathered = rng.standard_normal((indices.size, dim)).astype(np.float32)
+        want = np.zeros((n, dim), dtype=np.float32)
+        np.add.at(want, np.repeat(np.arange(n), np.diff(offsets)), gathered)
+        assert np.array_equal(segment_sum(gathered, offsets), want)
+
+    @given(
+        rows=st.integers(1, 30),
+        nnz=st.integers(0, 150),
+        seed=st.integers(0, 1_000_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_aggregated_vs_unique_add_at(self, rows, nnz, seed):
+        rng = np.random.default_rng(seed)
+        dim = 4
+        g = SparseGrad(
+            rng.integers(0, rows, size=nnz, dtype=np.int64),
+            rng.standard_normal((nnz, dim)).astype(np.float32),
+        )
+        uniq_w, inverse = np.unique(g.indices, return_inverse=True)
+        agg_w = np.zeros((uniq_w.shape[0], dim), dtype=np.float32)
+        np.add.at(agg_w, inverse, g.values)
+        uniq, agg = g.aggregated()
+        np.testing.assert_array_equal(uniq, uniq_w)
+        assert np.array_equal(agg, agg_w)
+
+    @pytest.mark.parametrize("dim", [2, 4, 1])  # dim=1 exercises the fallback
+    def test_fp32_scatter_vs_add_at(self, rng, dim):
+        rows = 12
+        idx = rng.integers(0, rows, size=200, dtype=np.int64)  # duplicate-heavy
+        deltas = rng.standard_normal((200, dim)).astype(np.float32)
+        w0 = rng.standard_normal((rows, dim)).astype(np.float32)
+        fast = EmbeddingBag(rows, dim, weight=w0.copy())
+        fast.scatter_add_rows(idx, deltas)
+        naive = EmbeddingBag(rows, dim, weight=w0.copy())
+        naive.scatter_add_rows_reference(idx, deltas)
+        assert np.array_equal(fast.weight, naive.weight)
+
+    @pytest.mark.parametrize("lo_bits", [16, 8])
+    def test_split_bf16_scatter_vs_reference(self, rng, lo_bits):
+        rows, dim = 16, 4
+        w0 = rng.standard_normal((rows, dim)).astype(np.float32)
+        idx = rng.integers(0, rows, size=120, dtype=np.int64)
+        deltas = rng.standard_normal((120, dim)).astype(np.float32)
+        fast = SplitEmbeddingBag(rows, dim, weight=w0.copy(), lo_bits=lo_bits)
+        fast.scatter_add_rows(idx, deltas)
+        naive = SplitEmbeddingBag(rows, dim, weight=w0.copy(), lo_bits=lo_bits)
+        naive.scatter_add_rows_reference(idx, deltas)
+        assert np.array_equal(fast.hi, naive.hi)
+        assert np.array_equal(fast.lo, naive.lo)
+
+    @pytest.mark.parametrize("storage", ["fp32", "split_bf16"])
+    def test_bag_updates_vs_backward_then_scatter(self, rng, storage):
+        """The fused entry point == materialise dW, then scatter."""
+        rows, dim, n = 10, 4, 8
+        w0 = rng.standard_normal((rows, dim)).astype(np.float32)
+        cls = SplitEmbeddingBag if storage == "split_bf16" else EmbeddingBag
+        indices, offsets = make_lookup(rng, rows, n)
+        dy = rng.standard_normal((n, dim)).astype(np.float32)
+        naive = cls(rows, dim, weight=w0.copy())
+        grad = naive.backward(dy, indices, offsets)
+        naive.scatter_add_rows_reference(grad.indices, grad.values)
+        fused = cls(rows, dim, weight=w0.copy())
+        bag_ids = np.repeat(np.arange(n), np.diff(offsets))
+        fused.apply_bag_updates(dy, bag_ids, indices)
+        assert np.array_equal(fused.dense_weight(), naive.dense_weight())
+
+    def test_empty_grad_is_noop(self, rng):
+        table = EmbeddingBag(5, 3, rng=rng)
+        before = table.weight.copy()
+        table.scatter_add_rows(np.empty(0, np.int64), np.empty((0, 3), np.float32))
+        np.testing.assert_array_equal(table.weight, before)

@@ -32,6 +32,22 @@ class TestActivations:
         want = 1.0 / (1.0 + np.exp(-v))
         assert got == pytest.approx(want, rel=1e-5)
 
+    def test_sigmoid_out_parameter(self, rng):
+        x = rng.standard_normal(32).astype(np.float32)
+        want = sigmoid(x)
+        out = np.empty_like(x)
+        got = sigmoid(x, out=out)
+        assert got is out
+        np.testing.assert_array_equal(got, want)
+
+    def test_sigmoid_out_may_alias_input(self, rng):
+        """The GEMM epilogues overwrite the logits buffer in place."""
+        x = rng.standard_normal(64).astype(np.float32)
+        want = sigmoid(x.copy())
+        got = sigmoid(x, out=x)
+        assert got is x
+        np.testing.assert_array_equal(got, want)
+
 
 class TestFullyConnectedForward:
     def test_linear_algebra(self, rng):
@@ -143,6 +159,21 @@ class TestBlockedEngine:
         with pytest.raises(ValueError):
             FullyConnected(4, 4, rng=rng, engine="cuda")
 
+    def test_fast_path_is_default_and_matches_observable_loop(self, rng):
+        """observe_blocks=False (default) takes the single-matmul fast
+        path; =True keeps the per-(Kb,Nb)-block loop.  Same math, same
+        flop totals, different call granularity."""
+        fast = FullyConnected(96, 128, rng=np.random.default_rng(3), engine="blocked", activation=None)
+        loop = FullyConnected(
+            96, 128, rng=np.random.default_rng(3), engine="blocked", activation=None,
+            observe_blocks=True,
+        )
+        x = rng.standard_normal((128, 96)).astype(np.float32)
+        np.testing.assert_allclose(fast.forward(x), loop.forward(x), rtol=1e-4, atol=1e-5)
+        assert fast.flops.flops == loop.flops.flops == 2 * 128 * 96 * 128
+        assert fast.flops.calls == 1  # one analytic GEMM record
+        assert loop.flops.calls > 1  # one record per output block
+
 
 class TestMLP:
     def test_stack_shapes(self, rng):
@@ -176,3 +207,66 @@ class TestMLP:
     def test_empty_layer_list_rejected(self, rng):
         with pytest.raises(ValueError):
             MLP(5, (), rng=rng)
+
+
+class TestWorkspaceSteadyState:
+    def test_no_allocations_after_first_step(self, rng):
+        """Once shapes are seen, forward+backward reuse the arena."""
+        mlp = MLP(6, (8, 4), rng=rng, last_activation="sigmoid")
+        x = rng.standard_normal((10, 6)).astype(np.float32)
+        dy = rng.standard_normal((10, 4)).astype(np.float32)
+        mlp.forward(x)
+        mlp.backward(dy)
+        allocs = sum(layer._ws.allocations for layer in mlp.layers)
+        resident = mlp.workspace_bytes
+        assert resident > 0
+        for _ in range(4):
+            mlp.forward(x)
+            mlp.backward(dy)
+            mlp.zero_grad()
+        assert sum(layer._ws.allocations for layer in mlp.layers) == allocs
+        assert mlp.workspace_bytes == resident
+
+    def test_gradients_unchanged_by_buffer_reuse(self, rng):
+        """Reused scratch must not perturb numerics across repeat steps."""
+        mlp = MLP(5, (7, 3), rng=rng, last_activation=None)
+        x = rng.standard_normal((6, 5)).astype(np.float32)
+        dy = rng.standard_normal((6, 3)).astype(np.float32)
+        mlp.forward(x)
+        mlp.backward(dy)
+        first = [p.grad.copy() for p in mlp.parameters()]
+        mlp.zero_grad()
+        mlp.forward(x)
+        mlp.backward(dy)
+        for g, p in zip(first, mlp.parameters()):
+            np.testing.assert_array_equal(g, p.grad)
+
+    def test_forward_output_valid_until_next_forward(self, rng):
+        fc = FullyConnected(4, 4, rng=rng, activation=None)
+        a = fc.forward(rng.standard_normal((3, 4)).astype(np.float32)).copy()
+        b = fc.forward(rng.standard_normal((3, 4)).astype(np.float32))
+        assert not np.array_equal(a, b)  # buffer was legitimately reused
+
+    def test_self_feeding_layer_is_safe(self, rng):
+        """fc(fc(x)) with the un-copied output: the GEMM must not write
+        the buffer it is reading from."""
+        fc = FullyConnected(4, 4, rng=rng, activation="relu")
+        x = rng.standard_normal((5, 4)).astype(np.float32)
+        y1 = fc.forward(x)  # workspace view, deliberately not copied
+        snapshot = y1.copy()
+        y2 = fc.forward(y1)
+        want = relu(snapshot @ fc.weight.value.T + fc.bias.value)
+        np.testing.assert_allclose(y2, want, rtol=1e-5, atol=1e-6)
+
+    def test_self_feeding_backward_is_safe(self, rng):
+        """Feeding a layer's own (un-copied) dx back as dy: the BWD_D
+        GEMM must not write the buffer it is reading from."""
+        fc = FullyConnected(4, 4, rng=rng, activation=None)
+        x = rng.standard_normal((5, 4)).astype(np.float32)
+        dy = rng.standard_normal((5, 4)).astype(np.float32)
+        fc.forward(x)
+        dx1 = fc.backward(dy)  # workspace view, deliberately not copied
+        snapshot = dx1.copy()
+        fc.forward(x)
+        dx2 = fc.backward(dx1)  # dz aliases the bwd.dx buffer
+        np.testing.assert_allclose(dx2, snapshot @ fc.weight.value, rtol=1e-5, atol=1e-6)

@@ -4,8 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core.bf16 import combine_fp32, quantize_bf16, split_fp32
-from repro.core.optim import SGD, MasterWeightSGD, SplitSGD
+from repro.core.embedding import EmbeddingBag, SparseGrad, SplitEmbeddingBag
+from repro.core.model import DLRM
+from repro.core.optim import SGD, MasterWeightSGD, SparseAdagrad, SplitSGD
 from repro.core.param import Parameter
+from repro.core.update import FusedBackwardUpdate, RaceFreeUpdate
+from tests.conftest import random_batch, tiny_config
 
 
 def make_param(rng, shape=(6, 4)):
@@ -148,6 +152,93 @@ class TestMasterWeightSGD:
             a.step_dense([pa])
             b.step_dense([pb])
         np.testing.assert_array_equal(a.master_value(pa), b._master[id(pb)])
+
+
+class TestSinglePassUpdates:
+    """The vectorized update strategies vs. the seed's formulations."""
+
+    @pytest.mark.parametrize("storage", ["fp32", "split_bf16"])
+    @pytest.mark.parametrize("threads", [1, 3, 28])
+    def test_racefree_single_pass_matches_mask_scans(self, rng, storage, threads):
+        rows, dim = 24, 4
+        w0 = rng.standard_normal((rows, dim)).astype(np.float32)
+        cls = SplitEmbeddingBag if storage == "split_bf16" else EmbeddingBag
+        grad = SparseGrad(
+            rng.integers(0, rows, size=90, dtype=np.int64),
+            rng.standard_normal((90, dim)).astype(np.float32),
+        )
+        fast_table = cls(rows, dim, weight=w0.copy())
+        fast = RaceFreeUpdate(threads)
+        fast.apply(fast_table, grad, 0.05)
+        naive_table = cls(rows, dim, weight=w0.copy())
+        naive = RaceFreeUpdate(threads)
+        naive.apply_reference(naive_table, grad, 0.05)
+        assert np.array_equal(fast_table.dense_weight(), naive_table.dense_weight())
+        np.testing.assert_array_equal(fast.last_thread_counts, naive.last_thread_counts)
+
+    @pytest.mark.parametrize("storage", ["fp32", "split_bf16"])
+    def test_fused_apply_matches_backward_then_update(self, rng, storage):
+        rows, dim, n = 20, 4, 12
+        w0 = rng.standard_normal((rows, dim)).astype(np.float32)
+        cls = SplitEmbeddingBag if storage == "split_bf16" else EmbeddingBag
+        lengths = rng.integers(0, 5, size=n)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        indices = rng.integers(0, rows, size=int(offsets[-1]), dtype=np.int64)
+        dy = rng.standard_normal((n, dim)).astype(np.float32)
+        naive_table = cls(rows, dim, weight=w0.copy())
+        grad = naive_table.backward(dy, indices, offsets)
+        RaceFreeUpdate(7).apply_reference(naive_table, grad, 0.1)
+        fused_table = cls(rows, dim, weight=w0.copy())
+        fused = FusedBackwardUpdate(7)
+        fused.apply_fused(fused_table, dy, indices, offsets, 0.1)
+        assert np.array_equal(fused_table.dense_weight(), naive_table.dense_weight())
+        assert fused.last_thread_counts.sum() == indices.size
+
+    @pytest.mark.parametrize("storage", ["fp32", "split_bf16"])
+    def test_fused_train_step_matches_materialized(self, storage):
+        """DLRM.train_step's fused dispatch == the SparseGrad path, bitwise."""
+        cfg = tiny_config()
+        kw = dict(seed=11, storage=storage)
+        a, b = DLRM(cfg, **kw), DLRM(cfg, **kw)
+        make = SplitSGD if storage == "split_bf16" else SGD
+        opt_a = make(lr=0.05, strategy=RaceFreeUpdate(threads=6))
+        opt_b = make(lr=0.05, strategy=FusedBackwardUpdate(threads=6))
+        opt_a.register(a.parameters())
+        opt_b.register(b.parameters())
+        for step in range(3):
+            batch = random_batch(cfg, 16, seed=step, ragged=True)
+            la = a.train_step(batch, opt_a)
+            lb = b.train_step(batch, opt_b)
+            assert la == lb
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            assert np.array_equal(pa.value, pb.value)
+        for t in a.table_ids:
+            assert np.array_equal(a.tables[t].dense_weight(), b.tables[t].dense_weight())
+
+    def test_fused_train_step_leaves_no_sparse_grads(self):
+        cfg = tiny_config()
+        model = DLRM(cfg, seed=1)
+        opt = SGD(lr=0.05, strategy=FusedBackwardUpdate(threads=4))
+        model.train_step(random_batch(cfg, 8, seed=0), opt)
+        assert model.sparse_grads == {}
+
+    def test_fused_strategy_with_adagrad_falls_back(self):
+        """SparseAdagrad overrides step_sparse; the fused dispatch must
+        defer to it (and still train identically to any other strategy)."""
+        cfg = tiny_config()
+        a, b = DLRM(cfg, seed=2), DLRM(cfg, seed=2)
+        opt_a = SparseAdagrad(lr=0.05, strategy=RaceFreeUpdate(threads=4))
+        opt_b = SparseAdagrad(lr=0.05, strategy=FusedBackwardUpdate(threads=4))
+        opt_a.register(a.parameters())
+        opt_b.register(b.parameters())
+        for step in range(2):
+            batch = random_batch(cfg, 8, seed=step)
+            assert a.train_step(batch, opt_a) == b.train_step(batch, opt_b)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            assert np.array_equal(pa.value, pb.value)
+        for t in a.table_ids:
+            assert np.array_equal(a.tables[t].weight, b.tables[t].weight)
 
 
 class TestParameter:

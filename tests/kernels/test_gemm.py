@@ -101,6 +101,43 @@ class TestBlockedMatmul:
             blocked_matmul(x4, w4, layout)
 
 
+class TestFastPath:
+    """counter=None skips the (Kb, Nb) work-item loop for one tensordot."""
+
+    @given(
+        st.sampled_from([(8, 8, 8), (16, 12, 20), (24, 16, 8), (6, 10, 14)]),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_observable_loop_path(self, shape, seed):
+        n, c, k = shape
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((n, c)).astype(np.float32)
+        w = rng.standard_normal((k, c)).astype(np.float32)
+        layout = choose_blocking(n, c, k, target=4)
+        x4 = block_activation(x, layout.bn, layout.bc)
+        w4 = block_weight(w, layout.bc, layout.bk)
+        fast = blocked_matmul(x4, w4, layout)
+        loop = blocked_matmul(x4, w4, layout, counter=FlopCounter())
+        assert fast.shape == loop.shape
+        assert fast.dtype == loop.dtype
+        np.testing.assert_allclose(fast, loop, rtol=1e-4, atol=1e-5)
+
+    def test_fast_path_output_is_contiguous(self, rng):
+        layout = choose_blocking(8, 8, 8, target=4)
+        x4 = block_activation(rng.standard_normal((8, 8)).astype(np.float32), 4, 4)
+        w4 = block_weight(rng.standard_normal((8, 8)).astype(np.float32), 4, 4)
+        y4 = blocked_matmul(x4, w4, layout)
+        assert y4.flags["C_CONTIGUOUS"]
+
+    def test_fast_path_still_validates_layout(self, rng):
+        layout = choose_blocking(8, 8, 8, target=4)
+        x4 = block_activation(np.zeros((8, 8), np.float32), 4, 4)
+        w4 = block_weight(np.zeros((8, 12), np.float32), 4, 4)
+        with pytest.raises(ValueError):
+            blocked_matmul(x4, w4, layout)
+
+
 class TestFlopCounter:
     def test_merge(self):
         a, b = FlopCounter(), FlopCounter()
@@ -109,3 +146,12 @@ class TestFlopCounter:
         a.merge(b)
         assert a.flops == 2 * 2 * 3 * 4 + 2
         assert a.calls == 2
+
+    def test_plain_default(self):
+        assert FlopCounter().calls == 0
+
+    def test_reset(self):
+        c = FlopCounter()
+        c.add_gemm(2, 3, 4)
+        c.reset()
+        assert (c.flops, c.bytes_moved, c.calls) == (0.0, 0.0, 0)

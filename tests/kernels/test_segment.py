@@ -1,0 +1,235 @@
+"""Segment kernels: bit-identity against the naive np.add.at oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.segment import (
+    aggregate_bag_duplicates,
+    aggregate_duplicates,
+    aggregate_duplicates_reference,
+    bucket_by_row_ranges,
+    plan_segments,
+    scatter_add_bags,
+    scatter_add_exact,
+    scatter_add_reference,
+    segment_sum_ragged,
+    segment_sum_reference,
+)
+
+
+def ragged_offsets(rng, n, max_len=6, allow_empty=True):
+    lengths = rng.integers(0 if allow_empty else 1, max_len + 1, size=n)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    return offsets
+
+
+class TestPlanSegments:
+    def test_stable_order_and_runs(self):
+        idx = np.array([3, 1, 3, 0, 1, 3], dtype=np.int64)
+        plan = plan_segments(idx)
+        np.testing.assert_array_equal(plan.uniq, [0, 1, 3])
+        np.testing.assert_array_equal(plan.lengths, [1, 2, 3])
+        np.testing.assert_array_equal(plan.starts, [0, 1, 3])
+        # Stability: duplicates keep their original relative order.
+        np.testing.assert_array_equal(plan.order, [3, 1, 4, 0, 2, 5])
+        np.testing.assert_array_equal(idx[plan.order], plan.sorted_rows)
+
+    def test_empty(self):
+        plan = plan_segments(np.empty(0, dtype=np.int64))
+        assert plan.nnz == 0
+        assert plan.uniq.size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            plan_segments(np.zeros((2, 2), dtype=np.int64))
+
+    def test_rows_beyond_int32_still_sort(self):
+        idx = np.array([2**40, 5, 2**40, 5], dtype=np.int64)
+        plan = plan_segments(idx)
+        np.testing.assert_array_equal(plan.uniq, [5, 2**40])
+        np.testing.assert_array_equal(plan.lengths, [2, 2])
+
+
+class TestSegmentSumBitIdentity:
+    @pytest.mark.parametrize("dim", [2, 3, 8, 17])
+    def test_ragged_matches_reference_bitwise(self, rng, dim):
+        for _ in range(5):
+            offsets = ragged_offsets(rng, int(rng.integers(1, 40)))
+            rows = rng.standard_normal((int(offsets[-1]), dim)).astype(np.float32)
+            want = segment_sum_reference(rows, offsets)
+            got = segment_sum_ragged(rows, offsets)
+            assert np.array_equal(got, want)
+
+    def test_dim_one_fallback_matches(self, rng):
+        offsets = ragged_offsets(rng, 20)
+        rows = rng.standard_normal((int(offsets[-1]), 1)).astype(np.float32)
+        assert np.array_equal(
+            segment_sum_ragged(rows, offsets), segment_sum_reference(rows, offsets)
+        )
+
+    def test_all_bags_empty(self, rng):
+        offsets = np.zeros(6, dtype=np.int64)
+        out = segment_sum_ragged(np.zeros((0, 4), np.float32), offsets)
+        assert out.shape == (5, 4)
+        assert not out.any()
+
+    def test_equal_length_bags(self, rng):
+        rows = rng.standard_normal((12, 4)).astype(np.float32)
+        offsets = np.arange(0, 13, 3)
+        want = segment_sum_reference(rows, offsets)
+        assert np.array_equal(segment_sum_ragged(rows, offsets), want)
+
+    def test_out_buffer_reused(self, rng):
+        offsets = ragged_offsets(rng, 10)
+        rows = rng.standard_normal((int(offsets[-1]), 4)).astype(np.float32)
+        out = np.full((10, 4), 7.0, dtype=np.float32)  # stale garbage
+        got = segment_sum_ragged(rows, offsets, out=out)
+        assert got is out
+        assert np.array_equal(out, segment_sum_reference(rows, offsets))
+
+    @given(n=st.integers(1, 30), dim=st.integers(2, 9), seed=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_property_bitwise(self, n, dim, seed):
+        rng = np.random.default_rng(seed)
+        offsets = ragged_offsets(rng, n)
+        rows = rng.standard_normal((int(offsets[-1]), dim)).astype(np.float32)
+        assert np.array_equal(
+            segment_sum_ragged(rows, offsets), segment_sum_reference(rows, offsets)
+        )
+
+
+class TestAggregateBitIdentity:
+    def test_duplicate_heavy(self, rng):
+        idx = rng.integers(0, 7, size=500, dtype=np.int64)  # ~70 dups per row
+        vals = rng.standard_normal((500, 5)).astype(np.float32)
+        uw, aw = aggregate_duplicates_reference(idx, vals)
+        ug, ag = aggregate_duplicates(idx, vals)
+        np.testing.assert_array_equal(ug, uw)
+        assert np.array_equal(ag, aw)
+
+    def test_empty(self):
+        uniq, agg = aggregate_duplicates(np.empty(0, np.int64), np.empty((0, 3), np.float32))
+        assert uniq.size == 0
+        assert agg.shape == (0, 3)
+
+    def test_bag_variant_matches_expanded(self, rng):
+        n, dim = 12, 4
+        offsets = ragged_offsets(rng, n)
+        nnz = int(offsets[-1])
+        idx = rng.integers(0, 9, size=nnz, dtype=np.int64)
+        bag_grads = rng.standard_normal((n, dim)).astype(np.float32)
+        bag_ids = np.repeat(np.arange(n), np.diff(offsets))
+        uw, aw = aggregate_duplicates_reference(idx, bag_grads[bag_ids])
+        ug, ag = aggregate_bag_duplicates(idx, bag_grads, bag_ids)
+        np.testing.assert_array_equal(ug, uw)
+        assert np.array_equal(ag, aw)
+
+    @given(rows=st.integers(1, 12), nnz=st.integers(0, 200), seed=st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_property_bitwise(self, rows, nnz, seed):
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, rows, size=nnz, dtype=np.int64)
+        vals = rng.standard_normal((nnz, 3)).astype(np.float32)
+        uw, aw = aggregate_duplicates_reference(idx, vals)
+        ug, ag = aggregate_duplicates(idx, vals)
+        np.testing.assert_array_equal(ug, uw)
+        assert np.array_equal(ag, aw)
+
+
+class TestScatterAddBitIdentity:
+    @pytest.mark.parametrize("rows,nnz,dim", [(5, 300, 4), (64, 64, 2), (1, 50, 8), (40, 0, 3)])
+    def test_matches_add_at_bitwise(self, rng, rows, nnz, dim):
+        idx = rng.integers(0, rows, size=nnz, dtype=np.int64)
+        deltas = rng.standard_normal((nnz, dim)).astype(np.float32)
+        w0 = rng.standard_normal((rows, dim)).astype(np.float32)
+        want = w0.copy()
+        scatter_add_reference(want, idx, deltas)
+        got = w0.copy()
+        scatter_add_exact(got, idx, deltas)
+        assert np.array_equal(got, want)
+
+    def test_dim_one_fallback(self, rng):
+        idx = rng.integers(0, 6, size=100, dtype=np.int64)
+        deltas = rng.standard_normal((100, 1)).astype(np.float32)
+        w0 = rng.standard_normal((6, 1)).astype(np.float32)
+        want = w0.copy()
+        scatter_add_reference(want, idx, deltas)
+        got = w0.copy()
+        scatter_add_exact(got, idx, deltas)
+        assert np.array_equal(got, want)
+
+    def test_untouched_rows_untouched(self, rng):
+        w0 = rng.standard_normal((10, 3)).astype(np.float32)
+        w = w0.copy()
+        scatter_add_exact(w, np.array([2, 2]), np.ones((2, 3), np.float32))
+        mask = np.ones(10, bool)
+        mask[2] = False
+        assert np.array_equal(w[mask], w0[mask])
+
+    def test_bag_variant_matches_expanded(self, rng):
+        rows, n, dim = 9, 15, 4
+        offsets = ragged_offsets(rng, n)
+        nnz = int(offsets[-1])
+        idx = rng.integers(0, rows, size=nnz, dtype=np.int64)
+        bag_ids = np.repeat(np.arange(n), np.diff(offsets))
+        bag_grads = rng.standard_normal((n, dim)).astype(np.float32)
+        w0 = rng.standard_normal((rows, dim)).astype(np.float32)
+        want = w0.copy()
+        scatter_add_reference(want, idx, bag_grads[bag_ids])
+        got = w0.copy()
+        scatter_add_bags(got, idx, bag_grads, bag_ids)
+        assert np.array_equal(got, want)
+
+    @given(
+        rows=st.integers(1, 30),
+        nnz=st.integers(0, 250),
+        dim=st.integers(2, 6),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_bitwise(self, rows, nnz, dim, seed):
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, rows, size=nnz, dtype=np.int64)
+        deltas = rng.standard_normal((nnz, dim)).astype(np.float32)
+        w0 = rng.standard_normal((rows, dim)).astype(np.float32)
+        want = w0.copy()
+        scatter_add_reference(want, idx, deltas)
+        got = w0.copy()
+        scatter_add_exact(got, idx, deltas)
+        assert np.array_equal(got, want)
+
+
+class TestBucketByRowRanges:
+    def naive_counts(self, indices, rows, threads):
+        counts = np.zeros(threads, dtype=np.int64)
+        for tid in range(threads):
+            lo, hi = (rows * tid) // threads, (rows * (tid + 1)) // threads
+            counts[tid] = int(((indices >= lo) & (indices < hi)).sum())
+        return counts
+
+    @given(
+        rows=st.integers(1, 60),
+        nnz=st.integers(0, 120),
+        threads=st.integers(1, 40),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_mask_scans(self, rows, nnz, threads, seed):
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, rows, size=nnz, dtype=np.int64)
+        got = bucket_by_row_ranges(idx, rows, threads)
+        np.testing.assert_array_equal(got, self.naive_counts(idx, rows, threads))
+        assert got.sum() == nnz
+
+    def test_more_threads_than_rows(self):
+        # Threads owning empty row ranges must count zero.
+        counts = bucket_by_row_ranges(np.array([0, 1, 1]), rows=2, threads=5)
+        assert counts.sum() == 3
+        np.testing.assert_array_equal(counts, self.naive_counts(np.array([0, 1, 1]), 2, 5))
+
+    def test_rejects_zero_threads(self):
+        with pytest.raises(ValueError):
+            bucket_by_row_ranges(np.array([0]), 4, 0)

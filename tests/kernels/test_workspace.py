@@ -1,0 +1,78 @@
+"""Workspace arena: grow-only reuse, warm/cold accounting, view safety."""
+
+import numpy as np
+
+from repro.kernels.workspace import Workspace
+
+
+class TestTake:
+    def test_first_take_allocates(self):
+        ws = Workspace()
+        buf = ws.take("a", (4, 3))
+        assert buf.shape == (4, 3)
+        assert buf.dtype == np.float32
+        assert (ws.allocations, ws.hits) == (1, 0)
+
+    def test_same_shape_is_warm(self):
+        ws = Workspace()
+        a = ws.take("a", (4, 3))
+        b = ws.take("a", (4, 3))
+        assert np.shares_memory(a, b)
+        assert (ws.allocations, ws.hits) == (1, 1)
+
+    def test_smaller_request_reuses(self):
+        ws = Workspace()
+        ws.take("a", (8, 4))
+        small = ws.take("a", (3, 4))
+        assert small.shape == (3, 4)
+        assert small.flags["C_CONTIGUOUS"]
+        assert (ws.allocations, ws.hits) == (1, 1)
+
+    def test_growth_reallocates(self):
+        ws = Workspace()
+        ws.take("a", (2, 2))
+        big = ws.take("a", (16, 2))
+        assert big.shape == (16, 2)
+        assert ws.allocations == 2
+
+    def test_dtype_change_reallocates(self):
+        ws = Workspace()
+        ws.take("a", (4,), np.float32)
+        b = ws.take("a", (4,), np.int64)
+        assert b.dtype == np.int64
+        assert ws.allocations == 2
+
+    def test_distinct_keys_do_not_alias(self):
+        ws = Workspace()
+        a = ws.take("a", (4,))
+        b = ws.take("b", (4,))
+        assert not np.shares_memory(a, b)
+
+    def test_views_are_writable_through(self):
+        ws = Workspace()
+        a = ws.take("a", (5,))
+        a[:] = 3.0
+        again = ws.take("a", (5,))
+        np.testing.assert_array_equal(again, 3.0)
+
+    def test_zero_size_shape(self):
+        ws = Workspace()
+        empty = ws.take("a", (0, 4))
+        assert empty.shape == (0, 4)
+
+
+class TestAccounting:
+    def test_nbytes_tracks_buffers(self):
+        ws = Workspace()
+        ws.take("a", (10,), np.float32)
+        ws.take("b", (5,), np.float64)
+        assert ws.nbytes == 10 * 4 + 5 * 8
+        assert len(ws) == 2
+        assert "a" in ws and "c" not in ws
+
+    def test_clear_drops_buffers_keeps_counters(self):
+        ws = Workspace()
+        ws.take("a", (10,))
+        ws.clear()
+        assert ws.nbytes == 0
+        assert ws.allocations == 1
