@@ -2,50 +2,66 @@
 
 Trains an MLPerf-shaped DLRM three ways -- FP32 SGD, Split-SGD-BF16, and
 the classic master-weight mixed precision -- and reports ROC AUC plus the
-storage each scheme needs.  The punchline matches Fig. 16: the split
-optimizer tracks FP32 with *zero* master-weight capacity overhead.
+storage each scheme needs.  Each variant is three lines of RunSpec diff;
+the Trainer runs the identical loop for all of them.  The punchline
+matches Fig. 16: the split optimizer tracks FP32 with *zero*
+master-weight capacity overhead.
 
 Usage:  python examples/bf16_split_sgd.py
 """
 
-from repro.bench.convergence import scaled_mlperf
-from repro.core.metrics import roc_auc
-from repro.core.model import DLRM
-from repro.core.optim import SGD, MasterWeightSGD, SplitSGD
-from repro.data.criteo import SyntheticCriteoDataset
+from repro.train import RunSpec, make_trainer
 
-STEPS = 40
 LR = 0.15
 
+VARIANTS: dict[str, tuple[dict, str]] = {
+    "fp32": (
+        {"optimizer": {"name": "sgd", "lr": LR}},
+        "none (FP32 weights)",
+    ),
+    "split_bf16": (
+        {
+            "optimizer": {"name": "split_sgd", "lr": LR},
+            "precision": {"storage": "split_bf16", "lo_bits": 16},
+        },
+        "0 bytes (lo halves replace the FP32 LSBs)",
+    ),
+    "master_bf16": (
+        {"optimizer": {"name": "master_weight", "lr": LR}},
+        "4 B/elem FP32 master copy (the classic 3x overhead)",
+    ),
+}
 
-def train(variant: str, cfg, data, test_batch) -> tuple[float, str]:
-    if variant == "fp32":
-        model, opt = DLRM(cfg, seed=5), SGD(lr=LR)
-        extra = "none (FP32 weights)"
-    elif variant == "split_bf16":
-        model = DLRM(cfg, seed=5, storage="split_bf16")
-        opt = SplitSGD(lr=LR)
-        extra = "0 bytes (lo halves replace the FP32 LSBs)"
-    elif variant == "master_bf16":
-        model, opt = DLRM(cfg, seed=5), MasterWeightSGD(lr=LR)
-        extra = "4 B/elem FP32 master copy (the classic 3x overhead)"
-    else:
-        raise ValueError(variant)
-    opt.register(model.parameters())
-    for i in range(STEPS):
-        model.train_step(data.batch(cfg.minibatch, i), opt)
-    auc = roc_auc(test_batch.labels, model.predict_proba(test_batch))
-    return auc, extra
+#: The scaled MLPerf shape of ``bench.convergence.scaled_mlperf``.
+_MODEL = {
+    "config": "mlperf",
+    "rows_cap": 2000,
+    "seed": 5,
+    "overrides": {
+        "name": "mlperf-fig16",
+        "minibatch": 128,
+        "global_minibatch": 512,
+        "local_minibatch": 128,
+        "embedding_dim": 16,
+        "bottom_mlp": [64, 32, 16],
+        "top_mlp": [64, 32, 1],
+    },
+}
 
 
-def main() -> None:
-    cfg = scaled_mlperf()
-    data = SyntheticCriteoDataset(cfg, seed=0)
-    test_batch = data.batch(4096, batch_index=10_000_000)
+def main(steps: int = 40, test_size: int = 4096) -> None:
+    base = {
+        "model": _MODEL,
+        "data": {"name": "criteo", "seed": 0},
+        "schedule": {"steps": steps, "eval_size": test_size},
+    }
+    cfg = RunSpec.from_dict(base).build_config()
     print(f"MLPerf-shaped DLRM ({cfg.num_tables} tables, E={cfg.embedding_dim}) "
-          f"on synthetic Criteo, {STEPS} iterations\n")
-    for variant in ("fp32", "split_bf16", "master_bf16"):
-        auc, extra = train(variant, cfg, data, test_batch)
+          f"on synthetic Criteo, {steps} iterations\n")
+    for variant, (diff, extra) in VARIANTS.items():
+        spec = RunSpec.from_dict({**base, "name": variant, **diff})
+        trainer = make_trainer(spec).fit()
+        auc = trainer.evaluate()["auc"]
         print(f"  {variant:12s} AUC = {auc:.4f}   master-weight overhead: {extra}")
     print("\nSplit-SGD stores FP32 weights as (BF16 hi || 16-bit lo): the model")
     print("half is a valid BF16 tensor, the update is FP32-exact, and no")

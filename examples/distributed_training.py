@@ -1,51 +1,55 @@
 """Hybrid-parallel DLRM on a simulated 8-socket node (paper Sect. IV).
 
-Trains the same global minibatches on (a) a single process and (b) a
-4-rank hybrid-parallel cluster -- model-parallel embeddings, data-parallel
-MLPs, alltoall at the interaction -- and verifies that the two runs agree,
-then prints the per-rank time profile the virtual cluster collected.
+One RunSpec, two parallelism sections: ``make_trainer`` builds a
+single-process :class:`~repro.train.Trainer` for ``ranks=1`` and a
+:class:`~repro.train.DistributedTrainer` (model-parallel embeddings,
+data-parallel MLPs, alltoall at the interaction) for ``ranks=4``.  Both
+train the same global minibatches; the losses agree, and the virtual
+cluster's per-rank time profile shows where the iteration went.
 
 Usage:  python examples/distributed_training.py
 """
 
 import numpy as np
 
-from repro.core.config import SMALL
-from repro.core.model import DLRM
-from repro.core.optim import SGD
-from repro.data.synthetic import RandomRecDataset
-from repro.parallel.cluster import SimCluster
-from repro.parallel.hybrid import DistributedDLRM
 from repro.perf.report import format_seconds
+from repro.train import RunSpec, make_trainer
 
 RANKS = 4
-STEPS = 5
 
 
-def main() -> None:
-    cfg = SMALL.scaled_down(rows_cap=2000, minibatch=64)
-    data = RandomRecDataset(cfg, seed=3)
-    batches = [data.batch(cfg.minibatch, i) for i in range(STEPS)]
+def main(steps: int = 5, minibatch: int = 64) -> None:
+    base = {
+        "name": "hybrid-vs-single",
+        "model": {"config": "small", "rows_cap": 2000, "minibatch": minibatch,
+                  "seed": 11},
+        "data": {"name": "random", "seed": 3},
+        "optimizer": {"name": "sgd", "lr": 0.05},
+        "schedule": {"steps": steps, "batch_size": minibatch,
+                     "eval_size": minibatch * RANKS},
+    }
 
-    # Single-process reference.
-    ref = DLRM(cfg, seed=11)
-    ref_opt = SGD(lr=0.05)
-    ref_losses = [ref.train_step(b, ref_opt, normalizer=b.size) for b in batches]
+    # Single-process reference: normalise by the batch so the losses are
+    # directly comparable to the distributed run's global-minibatch loss.
+    single = make_trainer(RunSpec.from_dict(base))
+    single.loss_normalizer = minibatch
+    single.fit()
 
     # Hybrid-parallel run on the simulated 8-socket SKX node.
-    cluster = SimCluster(RANKS, platform="node", backend="ccl")
-    dist = DistributedDLRM(cfg, cluster, seed=11, exchange="alltoall")
-    dist.attach_optimizers(lambda: SGD(lr=0.05))
-    dist_losses = [dist.train_step(b) for b in batches]
+    dist = make_trainer(
+        RunSpec.from_dict({**base, "parallel": {"ranks": RANKS, "platform": "node"}})
+    )
+    dist.fit()
 
     print(f"{RANKS}-rank hybrid parallel vs single process "
-          f"({cfg.num_tables} tables round-robin over ranks):")
-    for i, (a, b) in enumerate(zip(ref_losses, dist_losses)):
+          f"({single.model.cfg.num_tables} tables round-robin over ranks):")
+    for i, (a, b) in enumerate(zip(single.losses, dist.losses)):
         print(f"  step {i}: single = {a:.6f}   distributed = {b:.6f}   "
               f"|diff| = {abs(a - b):.2e}")
-    assert np.allclose(ref_losses, dist_losses, rtol=1e-5)
+    assert np.allclose(single.losses, dist.losses, rtol=1e-5)
     print("  -> losses agree (the Sect. IV parallelisation is exact)\n")
 
+    cluster = dist.dist.cluster
     print("per-rank virtual-time profile (rank 0):")
     prof = cluster.profilers[0]
     for cat in prof.categories():

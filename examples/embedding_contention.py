@@ -22,28 +22,28 @@ ROWS, DIM, LOOKUPS, THREADS = 200_000, 128, 16_384, 28
 STRATEGIES = ("reference", "atomic", "rtm", "racefree", "fused")
 
 
-def stream(kind: str) -> np.ndarray:
+def stream(kind: str, rows: int, lookups: int) -> np.ndarray:
     rng = np.random.default_rng(0)
     if kind == "uniform":
-        return rng.integers(0, ROWS, size=LOOKUPS, dtype=np.int64)
-    return bounded_zipf(rng, LOOKUPS, ROWS)
+        return rng.integers(0, rows, size=lookups, dtype=np.int64)
+    return bounded_zipf(rng, lookups, rows)
 
 
-def main() -> None:
+def main(rows_n: int = ROWS, dim: int = DIM, lookups: int = LOOKUPS) -> None:
     cm = CostModel(SKX_8180)
     rng = np.random.default_rng(1)
-    grad_values = rng.standard_normal((LOOKUPS, DIM)).astype(np.float32)
+    grad_values = rng.standard_normal((lookups, dim)).astype(np.float32)
 
     rows = []
     for kind in ("uniform", "zipf"):
-        idx = stream(kind)
-        stats = index_stats(idx, ROWS, threads=THREADS)
+        idx = stream(kind, rows_n, lookups)
+        stats = index_stats(idx, rows_n, threads=THREADS)
         grad = SparseGrad(idx, grad_values)
 
         # All strategies apply identical arithmetic -- verify it.
         results = {}
         for name in STRATEGIES:
-            table = EmbeddingBag(ROWS, DIM, rng=np.random.default_rng(7))
+            table = EmbeddingBag(rows_n, dim, rng=np.random.default_rng(7))
             make_strategy(name, threads=THREADS).apply(table, grad, lr=0.01)
             results[name] = table.weight
         for name in STRATEGIES[1:]:
@@ -52,7 +52,7 @@ def main() -> None:
             )
 
         for name in STRATEGIES:
-            t = cm.embedding_update_time(name, stats, row_bytes=DIM * 4)
+            t = cm.embedding_update_time(name, stats, row_bytes=dim * 4)
             rows.append(
                 {
                     "indices": kind,

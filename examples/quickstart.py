@@ -1,38 +1,45 @@
-"""Quickstart: build a DLRM, train it, and inspect the cost model.
+"""Quickstart: declare a RunSpec, train it, and inspect the cost model.
 
-Runs a scaled-down version of the paper's *small* configuration (Table I)
-end to end on the random dataset, then asks the analytic cost model what
-the same iteration would cost at full scale on the paper's Skylake
-socket -- reproducing the Fig. 7 headline (reference vs. optimised).
+The experiment is *data*: a :class:`repro.train.RunSpec` describing a
+scaled-down version of the paper's *small* configuration (Table I),
+turned into a live :class:`repro.train.Trainer` by ``make_trainer``.
+The trainer owns the loop; a ``MetricLogger`` callback prints losses.
+Afterwards the analytic cost model prices the same iteration at full
+scale on the paper's Skylake socket -- reproducing the Fig. 7 headline
+(reference vs. optimised).
 
 Usage:  python examples/quickstart.py
 """
 
-from repro.core.config import SMALL
-from repro.core.model import DLRM
-from repro.core.optim import SGD
-from repro.core.update import make_strategy
-from repro.data.synthetic import RandomRecDataset
 from repro.parallel.timing import single_socket_iteration
 from repro.perf.report import format_seconds
+from repro.train import MetricLogger, RunSpec, make_trainer
 
 
-def main() -> None:
+def main(steps: int = 20, rows_cap: int = 5000, minibatch: int = 128) -> None:
     # --- functional training at laptop scale -----------------------------
-    cfg = SMALL.scaled_down(rows_cap=5000, minibatch=128)
+    spec = RunSpec.from_dict(
+        {
+            "name": "quickstart",
+            "model": {"config": "small", "rows_cap": rows_cap, "minibatch": minibatch},
+            "data": {"name": "random", "seed": 1},
+            "optimizer": {"name": "sgd", "lr": 0.05},
+            "update": {"name": "racefree"},
+            "schedule": {"steps": steps, "eval_size": minibatch},
+        }
+    )
+    cfg = spec.build_config()
     print(f"config: {cfg.name}  (S={cfg.num_tables} tables, E={cfg.embedding_dim}, "
           f"N={cfg.minibatch})")
-    model = DLRM(cfg, seed=0)
-    opt = SGD(lr=0.05, strategy=make_strategy("racefree"))
-    data = RandomRecDataset(cfg, seed=1)
 
-    print("\ntraining 20 iterations on the random dataset:")
-    for step, batch in enumerate(data.batches(cfg.minibatch, count=20)):
-        loss = model.train_step(batch, opt)
-        if step % 5 == 0 or step == 19:
-            print(f"  step {step:3d}  loss = {loss:.4f}")
+    logger = MetricLogger(print_every=5)
+    trainer = make_trainer(spec, callbacks=[logger])
+    print(f"\ntraining {steps} iterations on the random dataset:")
+    trainer.fit()
+    last_step, last_loss = logger.history[-1]
+    print(f"  step {last_step:3d}  loss = {last_loss:.4f}")
 
-    probs = model.predict_proba(data.batch(cfg.minibatch, 999))
+    probs = trainer.predict_proba(trainer.dataset.batch(cfg.minibatch, 999))
     print(f"\npredictions on a held-out batch: mean CTR = {probs.mean():.3f}")
 
     # --- the paper-scale cost model ----------------------------------------

@@ -12,7 +12,6 @@ import sys
 from repro.bench.scaling import (
     BASELINE_RANKS,
     STRONG_RANKS,
-    VARIANTS,
     run_fig9_strong_scaling,
     run_fig12_weak_scaling,
 )
@@ -40,8 +39,9 @@ def comm_split_table(config: str) -> None:
     print_table(rows, title=f"\n{config}: blocking compute/comm split (CCL)")
 
 
-def main() -> None:
-    config = sys.argv[1] if len(sys.argv) > 1 else "large"
+def main(config: str | None = None) -> None:
+    if config is None:
+        config = sys.argv[1] if len(sys.argv) > 1 else "large"
     get_config(config)  # validate the name early
 
     strong = [r for r in run_fig9_strong_scaling((config,))]

@@ -15,31 +15,65 @@ parallel  The simulated SPMD cluster, the hybrid-parallel DLRM, its
 data      Random + synthetic-Criteo datasets, loaders.
 perf      Virtual clocks, profilers, report tables.
 bench     Experiment drivers regenerating every paper table and figure.
+train     The unified experiment API: JSON-round-trippable RunSpecs,
+          component registries, the callback-instrumented Trainer /
+          DistributedTrainer, and bit-exact ``.npz`` checkpointing.
+serve     Batched, cache-aware inference: the forward-only engine
+          (loadable from a training checkpoint), latency-budgeted
+          micro-batcher, embedding cache, multi-socket replicas, SLA
+          frontier.
+
+The stable public API is re-exported here: configs and the model
+(``DLRMConfig``, ``DLRM``), optimizers, the simulated cluster, and the
+``repro.train`` experiment surface (``RunSpec``, ``make_trainer``,
+``Trainer``, checkpoint helpers).  Everything else is importable from
+its package but may move between PRs.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core.config import CONFIGS, LARGE, MLPERF, SMALL, DLRMConfig, get_config
 from repro.core.model import DLRM
-from repro.core.optim import SGD, MasterWeightSGD, SplitSGD
+from repro.core.optim import SGD, MasterWeightSGD, SparseAdagrad, SplitSGD
 from repro.parallel.cluster import SimCluster
 from repro.parallel.hybrid import DistributedDLRM
 from repro.parallel.timing import model_iteration, single_socket_iteration
+from repro.serve.engine import InferenceEngine
+from repro.train import (
+    Callback,
+    DistributedTrainer,
+    RunSpec,
+    Trainer,
+    build_from_checkpoint,
+    load_checkpoint,
+    make_trainer,
+    save_checkpoint,
+)
 
 __all__ = [
     "__version__",
     "CONFIGS",
+    "Callback",
+    "DLRM",
+    "DLRMConfig",
+    "DistributedDLRM",
+    "DistributedTrainer",
+    "InferenceEngine",
     "LARGE",
     "MLPERF",
-    "SMALL",
-    "DLRMConfig",
-    "get_config",
-    "DLRM",
-    "SGD",
     "MasterWeightSGD",
-    "SplitSGD",
+    "RunSpec",
+    "SGD",
+    "SMALL",
     "SimCluster",
-    "DistributedDLRM",
+    "SparseAdagrad",
+    "SplitSGD",
+    "Trainer",
+    "build_from_checkpoint",
+    "get_config",
+    "load_checkpoint",
+    "make_trainer",
     "model_iteration",
+    "save_checkpoint",
     "single_socket_iteration",
 ]

@@ -24,10 +24,11 @@ import numpy as np
 
 from repro.bench import paper
 from repro.core.config import MLPERF, DLRMConfig
-from repro.core.metrics import roc_auc
 from repro.core.model import DLRM
 from repro.core.optim import SGD, SplitSGD
 from repro.data.criteo import SyntheticCriteoDataset
+from repro.train.callbacks import MetricLogger, PeriodicEval
+from repro.train.trainer import Trainer
 
 
 def scaled_mlperf(rows_cap: int = 2000, embedding_dim: int = 16) -> DLRMConfig:
@@ -107,6 +108,13 @@ def _train_variant(
     lr: float,
     seed: int,
 ) -> list[float]:
+    """One precision variant through the Trainer: the 5%-grid AUC curve.
+
+    The bespoke loop this replaces is now a :class:`PeriodicEval` firing
+    every ``epoch_batches / eval_points`` steps; the trainer's held-out
+    eval batch is exactly the ``test_batch`` the caller built (same
+    size, same far-future dataset index), so the curves are unchanged.
+    """
     if variant == "fp32":
         model = DLRM(cfg, seed=seed)
         opt: SGD = SGD(lr=lr)
@@ -122,15 +130,18 @@ def _train_variant(
     else:
         raise ValueError(f"unknown variant {variant!r}")
     opt.register(model.parameters())
-    aucs = []
-    per_point = epoch_batches // eval_points
-    step = 0
-    for _ in range(eval_points):
-        for _ in range(per_point):
-            model.train_step(dataset.batch(cfg.minibatch, step), opt)
-            step += 1
-        aucs.append(roc_auc(test_batch.labels, model.predict_proba(test_batch)))
-    return aucs
+    logger = MetricLogger()
+    trainer = Trainer(
+        model,
+        opt,
+        dataset,
+        batch_size=cfg.minibatch,
+        callbacks=[PeriodicEval(every=epoch_batches // eval_points), logger],
+        eval_size=test_batch.size,
+        eval_index=10_000_000,
+    )
+    trainer.fit(epoch_batches)
+    return [row["auc"] for row in logger.eval_history]
 
 
 def run_fig16_convergence(

@@ -8,9 +8,14 @@ Usage::
     python -m repro.cli fig9 --config large
     python -m repro.cli fig16 --epoch-batches 40 --eval-points 10
     python -m repro.cli iteration --config mlperf --ranks 16 --backend ccl
+    python -m repro.cli train --spec spec.json --checkpoint run.npz
+    python -m repro.cli eval --checkpoint run.npz
+    python -m repro.cli serve --checkpoint run.npz
 
 Each experiment prints the same paper-vs-model table the benchmark
-harness writes to ``benchmarks/results/``.
+harness writes to ``benchmarks/results/``.  ``train``/``eval`` drive the
+:mod:`repro.train` experiment API from a RunSpec JSON file; ``serve``
+accepts a training checkpoint to score with trained weights.
 """
 
 from __future__ import annotations
@@ -38,7 +43,7 @@ from repro.bench import (
 from repro.parallel.timing import model_iteration
 from repro.perf.report import format_table
 
-#: Experiments addressable by name; (description, needs-config-arg).
+#: Experiments addressable by name, mapped to their description strings.
 EXPERIMENTS: dict[str, str] = {
     "table1": "Table I: DLRM model specifications",
     "table2": "Table II: distributed-run characteristics (Eq. 1/2)",
@@ -110,7 +115,40 @@ def _build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--cache-rows", type=int, default=8192)
     sv.add_argument("--cache-policy", choices=["lru", "lfu"], default="lru")
     sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument(
+        "--checkpoint", default=None, metavar="NPZ",
+        help="score a held-out batch with the trained weights of this "
+        "repro.train checkpoint (and align the sweep to its config)",
+    )
+    tr = sub.add_parser(
+        "train", help="train a DLRM from a RunSpec JSON (repro.train)"
+    )
+    tr.add_argument("--spec", metavar="JSON", help="path to a RunSpec JSON file")
+    tr.add_argument(
+        "--resume", metavar="NPZ", help="resume from a checkpoint (spec embedded)"
+    )
+    tr.add_argument(
+        "--steps", type=int, default=None,
+        help="train this many steps (default: the spec's remaining budget)",
+    )
+    tr.add_argument(
+        "--checkpoint", metavar="NPZ", help="write the final checkpoint here"
+    )
+    ev = sub.add_parser("eval", help="evaluate a repro.train checkpoint")
+    ev.add_argument("--checkpoint", required=True, metavar="NPZ")
+    ev.add_argument("--batch-size", type=int, default=2048)
+    ev.add_argument(
+        "--batch-index", type=int, default=10_000_000,
+        help="held-out dataset index (default far past any training step)",
+    )
     return p
+
+
+def _require_file(path: str, what: str) -> None:
+    import pathlib
+
+    if not pathlib.Path(path).is_file():
+        raise SystemExit(f"{what}: file {path!r} not found")
 
 
 def _dispatch(args: argparse.Namespace) -> str:
@@ -152,9 +190,85 @@ def _dispatch(args: argparse.Namespace) -> str:
             lr=args.lr,
         )
         return format_table(curves.rows(), title=EXPERIMENTS[name])
+    if name == "train":
+        from repro.train import DistributedTrainer, RunSpec, Trainer, make_trainer
+
+        if not args.spec and not args.resume:
+            raise SystemExit("repro train: need --spec or --resume")
+        if args.resume:
+            from repro.train import load_checkpoint
+
+            _require_file(args.resume, "repro train --resume")
+            ckpt = load_checkpoint(args.resume)
+            spec = ckpt.require_spec()
+            cls = DistributedTrainer if spec.parallel.ranks > 1 else Trainer
+            trainer = cls.from_checkpoint(ckpt)
+        else:
+            _require_file(args.spec, "repro train --spec")
+            spec = RunSpec.load(args.spec)
+            trainer = make_trainer(spec)
+        start = trainer.step
+        trainer.fit(args.steps)
+        metrics = trainer.evaluate()
+        row = {
+            "run": spec.name,
+            "steps": trainer.step - start,
+            "global_step": trainer.step,
+            "final_loss": trainer.losses[-1] if trainer.losses else float("nan"),
+            **metrics,
+        }
+        out = format_table([row], title=f"Training run '{spec.name}'")
+        if args.checkpoint:
+            trainer.save_checkpoint(args.checkpoint)
+            out += f"\n\ncheckpoint written to {args.checkpoint}"
+        return out
+    if name == "eval":
+        from repro.core.metrics import accuracy, log_loss, roc_auc
+        from repro.serve import InferenceEngine
+        from repro.train import load_checkpoint
+
+        _require_file(args.checkpoint, "repro eval")
+        ckpt = load_checkpoint(args.checkpoint)
+        spec = ckpt.require_spec()
+        engine = InferenceEngine.from_checkpoint(args.checkpoint)
+        batch = spec.build_dataset().batch(args.batch_size, args.batch_index)
+        probs = engine.predict(batch)
+        row = {
+            "run": spec.name,
+            "global_step": ckpt.step,
+            "samples": batch.size,
+            "eval_loss": log_loss(batch.labels, probs),
+            "auc": roc_auc(batch.labels, probs),
+            "accuracy": accuracy(batch.labels, probs),
+            "mean_ctr": float(probs.mean()),
+        }
+        return format_table([row], title=f"Checkpoint evaluation ({args.checkpoint})")
     if name == "serve":
         from repro.serve import ServeParams, frontier_rows, sweep_budgets
 
+        scored = ""
+        if args.checkpoint:
+            from repro.serve import InferenceEngine
+            from repro.train import load_checkpoint
+
+            _require_file(args.checkpoint, "repro serve --checkpoint")
+            ckpt = load_checkpoint(args.checkpoint)
+            spec = ckpt.require_spec()
+            engine = InferenceEngine.from_checkpoint(args.checkpoint)
+            batch = spec.build_dataset().batch(min(args.max_batch, 256), 10_000_000)
+            probs = engine.predict(batch)
+            args.config = spec.model.config
+            scored = format_table(
+                [
+                    {
+                        "run": spec.name,
+                        "global_step": ckpt.step,
+                        "samples": batch.size,
+                        "mean_ctr": float(probs.mean()),
+                    }
+                ],
+                title="Functional scoring with trained weights",
+            ) + "\n\n"
         if args.requests < 1:
             raise SystemExit("repro serve: --requests must be >= 1")
         if args.qps <= 0:
@@ -194,7 +308,7 @@ def _dispatch(args: argparse.Namespace) -> str:
         frontier = format_table(
             frontier_rows(sweep), title="Throughput-under-SLA frontier"
         )
-        return f"{table}\n\n{frontier}"
+        return f"{scored}{table}\n\n{frontier}"
     if name == "iteration":
         res = model_iteration(
             args.config,

@@ -163,6 +163,34 @@ class EmbeddingBag:
         """Model + optimizer-state bytes held for this table."""
         return self.rows * self.dim * 4
 
+    # -- checkpointing ------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copies of the table's storage tensors (FP32: one weight array)."""
+        return {"weight": self.weight.copy()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore storage saved by :meth:`state_dict`, bit-exactly."""
+        self._load_array(state, "weight", self.weight, np.float32)
+
+    def _load_array(
+        self,
+        state: dict[str, np.ndarray],
+        key: str,
+        dst: np.ndarray,
+        dtype: type,
+    ) -> None:
+        if key not in state:
+            raise KeyError(f"missing state entry {key!r}")
+        value = np.asarray(state[key])
+        if value.dtype != np.dtype(dtype):
+            raise ValueError(
+                f"{key}: dtype {value.dtype} != expected {np.dtype(dtype)}"
+            )
+        if value.shape != dst.shape:
+            raise ValueError(f"{key}: shape {value.shape} != expected {dst.shape}")
+        dst[...] = value
+
     # -- compute layer -----------------------------------------------------------
 
     def _check_lookup(self, indices: np.ndarray, offsets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -261,3 +289,11 @@ class SplitEmbeddingBag(EmbeddingBag):
         # 2 bytes model (hi) + 2 bytes optimizer state (lo): same total as
         # FP32, with zero master-weight overhead.
         return self.rows * self.dim * (2 + 2)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Both 16-bit halves -- together the exact FP32 master weight."""
+        return {"hi": self.hi.copy(), "lo": self.lo.copy()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        self._load_array(state, "hi", self.hi, np.uint16)
+        self._load_array(state, "lo", self.lo, np.uint16)

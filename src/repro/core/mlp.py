@@ -157,6 +157,31 @@ class FullyConnected:
     def parameters(self) -> list[Parameter]:
         return [self.weight, self.bias]
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copies of the layer's trainable tensors, keyed by name."""
+        return {"weight": self.weight.value.copy(), "bias": self.bias.value.copy()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore tensors saved by :meth:`state_dict`, bit-exactly.
+
+        Strict on shapes *and* dtype: a float64 entry would load with
+        silent rounding, which breaks the checkpoint contract.
+        """
+        for key, param in (("weight", self.weight), ("bias", self.bias)):
+            if key not in state:
+                raise KeyError(f"missing state entry {key!r}")
+            value = np.asarray(state[key])
+            if value.dtype != np.float32:
+                raise ValueError(
+                    f"{key}: dtype {value.dtype} != expected {np.dtype(np.float32)}"
+                )
+            if value.shape != param.value.shape:
+                raise ValueError(
+                    f"{key}: shape {value.shape} != expected {param.value.shape}"
+                )
+            param.value[...] = value
+            param.zero_grad()
+
     @property
     def workspace_bytes(self) -> int:
         """Resident scratch bytes of this layer's arena."""
@@ -340,6 +365,30 @@ class MLP:
 
     def parameters(self) -> list[Parameter]:
         return [p for layer in self.layers for p in layer.parameters()]
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat state of the whole stack, keyed ``layers.<i>.<tensor>``."""
+        out: dict[str, np.ndarray] = {}
+        for i, layer in enumerate(self.layers):
+            for key, value in layer.state_dict().items():
+                out[f"layers.{i}.{key}"] = value
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore a :meth:`state_dict`; keys must match exactly."""
+        expected = {
+            f"layers.{i}.{k}"
+            for i, layer in enumerate(self.layers)
+            for k in ("weight", "bias")
+        }
+        if set(state) != expected:
+            missing = sorted(expected - set(state))
+            extra = sorted(set(state) - expected)
+            raise KeyError(f"state mismatch: missing {missing}, unexpected {extra}")
+        for i, layer in enumerate(self.layers):
+            layer.load_state_dict(
+                {k: state[f"layers.{i}.{k}"] for k in ("weight", "bias")}
+            )
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         for layer in self.layers:

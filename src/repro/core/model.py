@@ -106,6 +106,45 @@ class DLRM:
         sparse = sum(t.capacity_bytes() for t in self.tables.values())
         return dense + sparse
 
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """All weights of this process's shard as a flat dict of copies.
+
+        Keys are ``bottom.layers.<i>.<tensor>``, ``top.layers.<i>.<tensor>``
+        and ``table.<t>.<tensor>`` (``weight`` for FP32 tables, the
+        ``hi``/``lo`` uint16 halves for Split-BF16 tables -- together the
+        exact FP32 master weight, so a checkpoint loses nothing).
+        """
+        out: dict[str, np.ndarray] = {}
+        for prefix, mlp in (("bottom", self.bottom), ("top", self.top)):
+            for key, value in mlp.state_dict().items():
+                out[f"{prefix}.{key}"] = value
+        for t, table in self.tables.items():
+            for key, value in table.state_dict().items():
+                out[f"table.{t}.{key}"] = value
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore a :meth:`state_dict` bit-exactly.
+
+        Only this process's owned tables are required; entries for
+        unowned tables are ignored, so a model-parallel shard can load
+        its share straight from a consolidated checkpoint.
+        """
+        for prefix, mlp in (("bottom", self.bottom), ("top", self.top)):
+            sub = {
+                k[len(prefix) + 1 :]: v
+                for k, v in state.items()
+                if k.startswith(f"{prefix}.")
+            }
+            mlp.load_state_dict(sub)
+        expected_tables = set(self.table_ids)
+        for t in expected_tables:
+            prefix = f"table.{t}."
+            sub = {k[len(prefix) :]: v for k, v in state.items() if k.startswith(prefix)}
+            if not sub:
+                raise KeyError(f"checkpoint has no state for owned table {t}")
+            self.tables[t].load_state_dict(sub)
+
     # -- passes ------------------------------------------------------------------
 
     def embedding_forward(self, batch: Batch) -> dict[int, np.ndarray]:

@@ -32,25 +32,69 @@ from repro.core.param import Parameter
 from repro.core.update import RaceFreeUpdate, UpdateStrategy
 
 
+def _checked(
+    state: dict[str, np.ndarray],
+    key: str,
+    shape: tuple[int, ...],
+    dtype: type,
+) -> np.ndarray:
+    """A verified, owned copy of ``state[key]`` (checkpoint loading)."""
+    if key not in state:
+        raise KeyError(f"missing optimizer state entry {key!r}")
+    value = np.asarray(state[key])
+    if value.dtype != np.dtype(dtype):
+        raise ValueError(f"{key}: dtype {value.dtype} != expected {np.dtype(dtype)}")
+    if value.shape != tuple(shape):
+        raise ValueError(f"{key}: shape {value.shape} != expected {tuple(shape)}")
+    return value.copy()
+
+
 class SGD:
-    """Vanilla SGD: ``w -= lr * grad`` (dense) + strategy scatter (sparse)."""
+    """Vanilla SGD: ``w -= lr * grad`` (dense) + strategy scatter (sparse).
+
+    ``momentum > 0`` adds classic heavy-ball velocity on the *dense*
+    parameters only (``v = mu*v + g; w -= lr*v``); embedding tables keep
+    the paper's plain sparse SGD, whose update strategies assume a
+    stateless scatter.
+    """
 
     name = "sgd-fp32"
 
-    def __init__(self, lr: float, strategy: UpdateStrategy | None = None):
+    def __init__(
+        self,
+        lr: float,
+        strategy: UpdateStrategy | None = None,
+        momentum: float = 0.0,
+    ):
         if lr <= 0:
             raise ValueError("lr must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.lr = float(lr)
+        self.momentum = float(momentum)
         self.strategy = strategy or RaceFreeUpdate()
+        self._velocity: dict[int, np.ndarray] = {}
 
     def register(self, params: list[Parameter]) -> None:
-        """No per-parameter state for plain SGD."""
+        """Allocate velocity buffers (a no-op without momentum)."""
+        if self.momentum:
+            for p in params:
+                self._velocity[id(p)] = np.zeros(p.shape, dtype=np.float32)
 
     def step_dense(self, params: list[Parameter]) -> None:
         for p in params:
             if p.grad is None:
                 continue
-            p.value -= self.lr * p.grad
+            if self.momentum:
+                v = self._velocity.get(id(p))
+                if v is None:
+                    v = np.zeros(p.shape, dtype=np.float32)
+                    self._velocity[id(p)] = v
+                v *= np.float32(self.momentum)
+                v += p.grad
+                p.value -= self.lr * v
+            else:
+                p.value -= self.lr * p.grad
             p.zero_grad()
 
     def step_sparse(self, table: EmbeddingBag, grad: SparseGrad) -> None:
@@ -59,6 +103,46 @@ class SGD:
     def bytes_per_dense_param_step(self) -> int:
         """Traffic per parameter element (read w, read g, write w)."""
         return 12
+
+    # -- checkpointing ------------------------------------------------------
+
+    def state_dict(
+        self,
+        params: list[Parameter],
+        tables: dict[int, EmbeddingBag] | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Optimizer state as flat arrays, keyed by parameter *position*.
+
+        ``params`` must be the same ordered list the optimizer was
+        registered with (``model.parameters()`` is stable); ``tables``
+        maps table id -> table for optimizers with per-table state.
+        """
+        state: dict[str, np.ndarray] = {"lr": np.float64(self.lr)}
+        if self.momentum:
+            state["momentum"] = np.float64(self.momentum)
+            for i, p in enumerate(params):
+                v = self._velocity.get(id(p))
+                state[f"velocity.{i}"] = (
+                    np.zeros(p.shape, dtype=np.float32) if v is None else v.copy()
+                )
+        return state
+
+    def load_state_dict(
+        self,
+        state: dict[str, np.ndarray],
+        params: list[Parameter],
+        tables: dict[int, EmbeddingBag] | None = None,
+    ) -> None:
+        """Restore state saved by :meth:`state_dict`, bit-exactly."""
+        self.lr = float(state["lr"])
+        if self.momentum:
+            if "momentum" not in state:
+                raise KeyError("momentum optimizer loading a momentum-free state")
+            self.momentum = float(state["momentum"])
+            for i, p in enumerate(params):
+                self._velocity[id(p)] = _checked(
+                    state, f"velocity.{i}", p.shape, np.float32
+                )
 
 
 class SplitSGD(SGD):
@@ -113,6 +197,31 @@ class SplitSGD(SGD):
     def state_bytes(self, params: list[Parameter]) -> int:
         """Optimizer state: 2 bytes/element (the lo halves)."""
         return sum(p.size * 2 for p in params)
+
+    def state_dict(
+        self,
+        params: list[Parameter],
+        tables: dict[int, EmbeddingBag] | None = None,
+    ) -> dict[str, np.ndarray]:
+        state = super().state_dict(params, tables)
+        for i, p in enumerate(params):
+            lo = self._lo.get(id(p))
+            if lo is None:
+                raise RuntimeError(
+                    f"parameter {p.name or i} not registered with SplitSGD"
+                )
+            state[f"lo.{i}"] = lo.copy()
+        return state
+
+    def load_state_dict(
+        self,
+        state: dict[str, np.ndarray],
+        params: list[Parameter],
+        tables: dict[int, EmbeddingBag] | None = None,
+    ) -> None:
+        super().load_state_dict(state, params, tables)
+        for i, p in enumerate(params):
+            self._lo[id(p)] = _checked(state, f"lo.{i}", p.shape, np.uint16)
 
 
 class SparseAdagrad(SGD):
@@ -176,6 +285,38 @@ class SparseAdagrad(SGD):
         sparse = sum(t.rows * 4 for t in tables)
         return dense + sparse
 
+    def state_dict(
+        self,
+        params: list[Parameter],
+        tables: dict[int, EmbeddingBag] | None = None,
+    ) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {"lr": np.float64(self.lr)}
+        for i, p in enumerate(params):
+            acc = self._dense_state.get(id(p))
+            state[f"dense.{i}"] = (
+                np.zeros(p.shape, dtype=np.float32) if acc is None else acc.copy()
+            )
+        for tid, table in (tables or {}).items():
+            acc = self._row_state.get(id(table))
+            state[f"row.{tid}"] = (
+                np.zeros(table.rows, dtype=np.float32) if acc is None else acc.copy()
+            )
+        return state
+
+    def load_state_dict(
+        self,
+        state: dict[str, np.ndarray],
+        params: list[Parameter],
+        tables: dict[int, EmbeddingBag] | None = None,
+    ) -> None:
+        self.lr = float(state["lr"])
+        for i, p in enumerate(params):
+            self._dense_state[id(p)] = _checked(state, f"dense.{i}", p.shape, np.float32)
+        for tid, table in (tables or {}).items():
+            self._row_state[id(table)] = _checked(
+                state, f"row.{tid}", (table.rows,), np.float32
+            )
+
 
 class MasterWeightSGD(SGD):
     """Classic BF16 mixed precision with an FP32 master copy.
@@ -210,3 +351,28 @@ class MasterWeightSGD(SGD):
 
     def state_bytes(self, params: list[Parameter]) -> int:
         return sum(p.size * 4 for p in params)
+
+    def state_dict(
+        self,
+        params: list[Parameter],
+        tables: dict[int, EmbeddingBag] | None = None,
+    ) -> dict[str, np.ndarray]:
+        state = super().state_dict(params, tables)
+        for i, p in enumerate(params):
+            master = self._master.get(id(p))
+            if master is None:
+                raise RuntimeError(
+                    f"parameter {p.name or i} not registered with MasterWeightSGD"
+                )
+            state[f"master.{i}"] = master.copy()
+        return state
+
+    def load_state_dict(
+        self,
+        state: dict[str, np.ndarray],
+        params: list[Parameter],
+        tables: dict[int, EmbeddingBag] | None = None,
+    ) -> None:
+        super().load_state_dict(state, params, tables)
+        for i, p in enumerate(params):
+            self._master[id(p)] = _checked(state, f"master.{i}", p.shape, np.float32)

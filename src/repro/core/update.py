@@ -178,11 +178,17 @@ STRATEGIES: dict[str, type[UpdateStrategy]] = {
 
 
 def make_strategy(name: str, threads: int = 28) -> UpdateStrategy:
-    """Instantiate an update strategy by cost key."""
-    try:
-        cls = STRATEGIES[name]
-    except KeyError:
-        raise ValueError(f"unknown update strategy {name!r}; have {sorted(STRATEGIES)}") from None
-    if cls in (RaceFreeUpdate, FusedBackwardUpdate):
-        return cls(threads)
-    return cls()
+    """Instantiate an update strategy by cost key.
+
+    Delegates to the :data:`repro.train.registry.UPDATE_STRATEGIES`
+    registry (imported lazily -- ``repro.train`` sits above this
+    module), so strategies registered by downstream code are reachable
+    through this legacy entry point too.  Entries added to the public
+    :data:`STRATEGIES` dict after the registry snapshot are picked up
+    on first use, keeping the old extension point alive.
+    """
+    from repro.train.registry import UPDATE_STRATEGIES, _strategy_factory
+
+    if name not in UPDATE_STRATEGIES and name in STRATEGIES:
+        UPDATE_STRATEGIES.register(name, _strategy_factory(STRATEGIES[name]))
+    return UPDATE_STRATEGIES.create(name, threads=threads)

@@ -281,6 +281,58 @@ class DistributedDLRM:
             cluster.charge(r, cm.elementwise_time(dense_bytes, cores), "update.dense")
         return global_loss
 
+    # -- checkpointing --------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Consolidated model state, identical in layout to a
+        single-process :meth:`DLRM.state_dict`.
+
+        Dense (MLP) weights are replicated and kept in lock-step by the
+        allreduce, so rank 0's copy is authoritative; each embedding
+        table is collected from its owning rank.  The result can be
+        loaded into a single-process model, a serving replica, or back
+        into a cluster of any rank count whose placement covers the same
+        tables.
+        """
+        out = {
+            k: v
+            for k, v in self.models[0].state_dict().items()
+            if not k.startswith("table.")
+        }
+        for t, owner in enumerate(self.owners):
+            for key, value in self.models[owner].tables[t].state_dict().items():
+                out[f"table.{t}.{key}"] = value
+        return out
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load a consolidated checkpoint: dense weights into every
+        rank, each table into its owner."""
+        for model in self.models:
+            model.load_state_dict(state)
+
+    def optimizer_state_dict(self) -> dict[str, np.ndarray]:
+        """Consolidated optimizer state matching :meth:`state_dict`.
+
+        Dense state (momentum velocities, Split-SGD lo halves, Adagrad
+        accumulators) is rank-replicated -- rank 0 is saved; per-table
+        rows (Adagrad) come from each table's owner.
+        """
+        if self.optimizers is None:
+            raise RuntimeError("call attach_optimizers() before checkpointing")
+        out = self.optimizers[0].state_dict(self.models[0].parameters(), tables={})
+        for r, model in enumerate(self.models):
+            for key, value in self.optimizers[r].state_dict([], model.tables).items():
+                if key != "lr":
+                    out[key] = value
+        return out
+
+    def load_optimizer_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore per-rank optimizers from a consolidated state."""
+        if self.optimizers is None:
+            raise RuntimeError("call attach_optimizers() before checkpointing")
+        for r, model in enumerate(self.models):
+            self.optimizers[r].load_state_dict(state, model.parameters(), model.tables)
+
     # -- evaluation helpers ---------------------------------------------------------
 
     def predict_proba(self, global_batch: Batch) -> np.ndarray:

@@ -41,6 +41,25 @@ class InferenceEngine:
         self.cold_calls = 0
         self.warm_calls = 0
 
+    @classmethod
+    def from_checkpoint(cls, path) -> "InferenceEngine":
+        """Serve a training checkpoint: the train -> serve loop closed.
+
+        Rebuilds the model from the RunSpec embedded in a
+        ``repro.train`` ``.npz`` checkpoint (always as a full replica,
+        whatever parallelism produced it) and loads the saved weights
+        bit-exactly, so predictions match the training-time model to
+        the bit.  The import is deferred: ``repro.train`` sits above
+        this package in the layering.
+        """
+        from repro.train.checkpoint import load_checkpoint
+
+        ckpt = load_checkpoint(path)
+        spec = ckpt.require_spec()
+        model = spec.build_model()
+        model.load_state_dict(ckpt.model_state)
+        return cls(model)
+
     # -- buffers ------------------------------------------------------------
 
     def warmup(self, batch_size: int) -> None:

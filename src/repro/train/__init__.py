@@ -1,0 +1,92 @@
+"""repro.train: the unified Experiment/Trainer API.
+
+One experiment is one :class:`~repro.train.spec.RunSpec` -- a plain-data
+description of model, data, optimizer, update strategy, precision,
+parallelism and schedule that round-trips to JSON.  Component names
+resolve through string-keyed registries (:mod:`repro.train.registry`);
+:func:`make_trainer` turns a spec into a single-process
+:class:`Trainer` or a hybrid-parallel :class:`DistributedTrainer`, both
+running the same callback-instrumented loop; and
+:mod:`repro.train.checkpoint` persists the whole training state to
+``.npz`` with bit-identical resume (the Split-BF16 lo/hi halves and all
+optimizer state included).
+
+>>> spec = RunSpec.from_dict({"model": {"config": "small", "rows_cap": 500,
+...                                     "minibatch": 32}})
+>>> trainer = make_trainer(spec).fit(5)
+>>> trainer.save_checkpoint("run.npz")          # doctest: +SKIP
+"""
+
+from repro.train.callbacks import (
+    Callback,
+    CallbackList,
+    CheckpointCallback,
+    EarlyStopping,
+    LRScheduleCallback,
+    MetricLogger,
+    PeriodicEval,
+    StepTimer,
+)
+from repro.train.checkpoint import (
+    Checkpoint,
+    build_from_checkpoint,
+    load_checkpoint,
+    restore,
+    save_checkpoint,
+    save_state,
+)
+from repro.train.registry import (
+    BATCH_POLICIES,
+    DATASETS,
+    LR_SCHEDULES,
+    OPTIMIZERS,
+    ROUTE_POLICIES,
+    Registry,
+    UPDATE_STRATEGIES,
+)
+from repro.train.spec import (
+    DataSpec,
+    ModelSpec,
+    OptimizerSpec,
+    ParallelSpec,
+    PrecisionSpec,
+    RunSpec,
+    ScheduleSpec,
+    UpdateSpec,
+)
+from repro.train.trainer import DistributedTrainer, Trainer, make_trainer
+
+__all__ = [
+    "BATCH_POLICIES",
+    "Callback",
+    "CallbackList",
+    "Checkpoint",
+    "CheckpointCallback",
+    "DATASETS",
+    "DataSpec",
+    "DistributedTrainer",
+    "EarlyStopping",
+    "LRScheduleCallback",
+    "LR_SCHEDULES",
+    "MetricLogger",
+    "ModelSpec",
+    "OPTIMIZERS",
+    "OptimizerSpec",
+    "ParallelSpec",
+    "PeriodicEval",
+    "PrecisionSpec",
+    "ROUTE_POLICIES",
+    "Registry",
+    "RunSpec",
+    "ScheduleSpec",
+    "StepTimer",
+    "Trainer",
+    "UPDATE_STRATEGIES",
+    "UpdateSpec",
+    "build_from_checkpoint",
+    "load_checkpoint",
+    "make_trainer",
+    "restore",
+    "save_checkpoint",
+    "save_state",
+]

@@ -1,0 +1,133 @@
+"""Bit-exact ``.npz`` checkpoints: model + optimizer + step + spec.
+
+A checkpoint is a flat dict of numpy arrays (``np.savez``), so nothing
+is pickled and every tensor round-trips bit-for-bit -- including the
+uint16 hi/lo halves of Split-BF16 storage, momentum velocities and
+Adagrad accumulators.  Layout::
+
+    model.<key>   one entry per DLRM.state_dict() key
+    opt.<key>     one entry per optimizer state_dict() key
+    meta.step     global step count (int64 scalar)
+    meta.spec     the RunSpec as JSON (unicode scalar; empty if unknown)
+    meta.version  checkpoint format version
+
+Because the spec rides along, :func:`build_from_checkpoint` can
+reconstruct the full training state from the file alone -- which is what
+``repro train --resume``, ``repro eval`` and
+``serve.InferenceEngine.from_checkpoint`` build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.model import DLRM
+from repro.core.optim import SGD
+from repro.train.spec import RunSpec
+
+FORMAT_VERSION = 1
+
+_MODEL = "model."
+_OPT = "opt."
+
+
+@dataclass
+class Checkpoint:
+    """An in-memory checkpoint: states + step + (optional) spec."""
+
+    model_state: dict[str, np.ndarray]
+    opt_state: dict[str, np.ndarray]
+    step: int
+    spec: RunSpec | None
+
+    def require_spec(self) -> RunSpec:
+        if self.spec is None:
+            raise ValueError(
+                "checkpoint carries no RunSpec; it can be loaded into an "
+                "existing model but not rebuilt from the file alone"
+            )
+        return self.spec
+
+
+def save_state(
+    path: str | Path,
+    model_state: dict[str, np.ndarray],
+    opt_state: dict[str, np.ndarray] | None = None,
+    step: int = 0,
+    spec: RunSpec | None = None,
+) -> None:
+    """Write already-extracted state dicts as one ``.npz`` file."""
+    arrays: dict[str, np.ndarray] = {}
+    for key, value in model_state.items():
+        arrays[_MODEL + key] = value
+    for key, value in (opt_state or {}).items():
+        arrays[_OPT + key] = value
+    arrays["meta.step"] = np.int64(step)
+    arrays["meta.spec"] = np.str_(spec.to_json() if spec is not None else "")
+    arrays["meta.version"] = np.int64(FORMAT_VERSION)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        np.savez(fh, **arrays)
+
+
+def save_checkpoint(
+    path: str | Path,
+    model: DLRM,
+    optimizer: SGD | None = None,
+    step: int = 0,
+    spec: RunSpec | None = None,
+) -> None:
+    """Checkpoint a single-process model (+ optimizer) to ``path``."""
+    opt_state = None
+    if optimizer is not None:
+        opt_state = optimizer.state_dict(model.parameters(), model.tables)
+    save_state(path, model.state_dict(), opt_state, step=step, spec=spec)
+
+
+def load_checkpoint(path: str | Path) -> Checkpoint:
+    """Read a ``.npz`` checkpoint back into a :class:`Checkpoint`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        model_state = {
+            k[len(_MODEL) :]: data[k] for k in data.files if k.startswith(_MODEL)
+        }
+        opt_state = {k[len(_OPT) :]: data[k] for k in data.files if k.startswith(_OPT)}
+        step = int(data["meta.step"]) if "meta.step" in data.files else 0
+        spec_json = str(data["meta.spec"]) if "meta.spec" in data.files else ""
+    spec = RunSpec.from_json(spec_json) if spec_json else None
+    return Checkpoint(model_state=model_state, opt_state=opt_state, step=step, spec=spec)
+
+
+def restore(
+    model: DLRM, optimizer: SGD | None, ckpt: Checkpoint | str | Path
+) -> Checkpoint:
+    """Load a checkpoint's states into existing objects; returns it."""
+    if not isinstance(ckpt, Checkpoint):
+        ckpt = load_checkpoint(ckpt)
+    model.load_state_dict(ckpt.model_state)
+    if optimizer is not None and ckpt.opt_state:
+        optimizer.load_state_dict(ckpt.opt_state, model.parameters(), model.tables)
+    return ckpt
+
+
+def build_from_checkpoint(
+    path: str | Path,
+) -> tuple[DLRM, SGD, Checkpoint]:
+    """Reconstruct (model, optimizer, checkpoint) from the file alone.
+
+    The embedded RunSpec rebuilds the exact architecture and optimizer
+    (always as a full single-process replica, whatever parallelism the
+    run used -- distributed checkpoints are saved consolidated), then
+    the saved tensors overwrite the fresh initialisation bit-exactly.
+    """
+    ckpt = load_checkpoint(path)
+    spec = ckpt.require_spec()
+    cfg = spec.build_config()
+    model = spec.build_model(cfg)
+    optimizer = spec.build_optimizer()
+    optimizer.register(model.parameters())
+    restore(model, optimizer, ckpt)
+    return model, optimizer, ckpt

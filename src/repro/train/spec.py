@@ -1,0 +1,338 @@
+"""RunSpec: one experiment as data, round-trippable to JSON.
+
+A :class:`RunSpec` composes everything a run needs -- model
+configuration, data source, optimizer, sparse update strategy, numeric
+precision, parallelism, and the training schedule -- as plain
+dataclasses of plain values.  ``RunSpec.from_dict(spec.to_dict())``
+is the identity, and ``to_json``/``from_json`` make every scenario a
+config file::
+
+    {
+      "model":     {"config": "mlperf", "rows_cap": 2000, "seed": 5},
+      "data":      {"name": "criteo", "seed": 0},
+      "optimizer": {"name": "split_sgd", "lr": 0.15},
+      "update":    {"name": "racefree", "threads": 28},
+      "precision": {"storage": "split_bf16", "lo_bits": 16},
+      "parallel":  {"ranks": 1},
+      "schedule":  {"steps": 200, "eval_every": 50}
+    }
+
+Component names resolve through the registries of
+:mod:`repro.train.registry`; the ``build_*`` methods turn the spec into
+live objects.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any
+
+from repro.core.config import CONFIGS, DLRMConfig, get_config
+from repro.core.model import DLRM
+from repro.core.optim import SGD, SplitSGD
+from repro.core.update import UpdateStrategy
+from repro.train.registry import (
+    DATASETS,
+    LR_SCHEDULES,
+    OPTIMIZERS,
+    UPDATE_STRATEGIES,
+)
+
+#: Fields of DLRMConfig that JSON round-trips as lists but must be tuples.
+_TUPLE_FIELDS = ("table_rows", "bottom_mlp", "top_mlp")
+
+
+def _from_mapping(cls: type, data: dict[str, Any], where: str) -> Any:
+    """Build dataclass ``cls`` from ``data``, rejecting unknown keys."""
+    if not isinstance(data, dict):
+        raise TypeError(f"{where}: expected a mapping, got {type(data).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"{where}: unknown keys {unknown}; known: {sorted(known)}")
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Which DLRM to build, and at what scale.
+
+    ``config`` names a paper preset (Table I); ``overrides`` are applied
+    with ``dataclasses.replace`` for custom topologies; ``rows_cap`` and
+    ``minibatch`` are the common scaled-down-for-laptops knobs (the
+    latter mirrors ``DLRMConfig.scaled_down``: global = 4x, local = x).
+    """
+
+    config: str = "small"
+    rows_cap: int | None = None
+    minibatch: int | None = None
+    overrides: dict[str, Any] = field(default_factory=dict)
+    seed: int = 0
+    engine: str = "reference"
+
+    def __post_init__(self) -> None:
+        # Normalise sequence-valued overrides to tuples so a spec equals
+        # its JSON round trip (JSON turns tuples into lists).
+        fixed = {
+            k: tuple(v) if k in _TUPLE_FIELDS else v
+            for k, v in self.overrides.items()
+        }
+        object.__setattr__(self, "overrides", fixed)
+
+    def build_config(self) -> DLRMConfig:
+        cfg = get_config(self.config)
+        if self.overrides:
+            cfg = dataclasses.replace(cfg, **self.overrides)
+        if self.rows_cap is not None:
+            cfg = dataclasses.replace(
+                cfg, table_rows=tuple(min(m, self.rows_cap) for m in cfg.table_rows)
+            )
+        if self.minibatch is not None:
+            cfg = dataclasses.replace(
+                cfg,
+                minibatch=self.minibatch,
+                global_minibatch=self.minibatch * 4,
+                local_minibatch=self.minibatch,
+            )
+        return cfg
+
+
+@dataclass(frozen=True)
+class DataSpec:
+    """Data source: a name in :data:`~repro.train.registry.DATASETS`."""
+
+    name: str = "random"
+    seed: int = 0
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class OptimizerSpec:
+    """Optimizer: a name in :data:`~repro.train.registry.OPTIMIZERS`."""
+
+    name: str = "sgd"
+    lr: float = 0.05
+    kwargs: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class UpdateSpec:
+    """Sparse update strategy (paper Sect. III-A) by registry name."""
+
+    name: str = "racefree"
+    threads: int = 28
+
+
+@dataclass(frozen=True)
+class PrecisionSpec:
+    """Weight storage: FP32 or the paper's Split-BF16 (Sect. VII)."""
+
+    storage: str = "fp32"
+    lo_bits: int = 16
+
+
+@dataclass(frozen=True)
+class ParallelSpec:
+    """Single-process (ranks=1) or hybrid-parallel on a SimCluster."""
+
+    ranks: int = 1
+    platform: str = "node"
+    backend: str = "ccl"
+    exchange: str = "alltoall"
+    placement: str = "round_robin"
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """How long to train and what to do along the way.
+
+    ``batch_size`` defaults to the model config's minibatch (single
+    process) or global minibatch (distributed).  ``lr_schedule`` names an
+    entry of :data:`~repro.train.registry.LR_SCHEDULES` plus its kwargs,
+    e.g. ``{"name": "warmup_decay", "peak_lr": 0.2, "warmup_steps": 10}``.
+    ``early_stop`` configures the early-stopping callback, e.g.
+    ``{"monitor": "auc", "patience": 3, "min_delta": 0.0}``.
+    """
+
+    steps: int = 100
+    batch_size: int | None = None
+    eval_every: int = 0
+    eval_size: int = 2048
+    eval_index: int = 10_000_000
+    log_every: int = 0
+    checkpoint_every: int = 0
+    checkpoint_dir: str | None = None
+    lr_schedule: dict[str, Any] | None = None
+    early_stop: dict[str, Any] | None = None
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A complete experiment: the unit the Trainer, CLI and checkpoints share."""
+
+    name: str = "run"
+    model: ModelSpec = field(default_factory=ModelSpec)
+    data: DataSpec = field(default_factory=DataSpec)
+    optimizer: OptimizerSpec = field(default_factory=OptimizerSpec)
+    update: UpdateSpec = field(default_factory=UpdateSpec)
+    precision: PrecisionSpec = field(default_factory=PrecisionSpec)
+    parallel: ParallelSpec = field(default_factory=ParallelSpec)
+    schedule: ScheduleSpec = field(default_factory=ScheduleSpec)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Cross-field consistency; raises ValueError on a bad spec."""
+        if self.model.config not in CONFIGS:
+            raise ValueError(
+                f"model.config must name a paper preset {sorted(CONFIGS)}, "
+                f"got {self.model.config!r}"
+            )
+        if self.optimizer.name not in OPTIMIZERS:
+            raise ValueError(
+                f"optimizer.name {self.optimizer.name!r} not registered; "
+                f"have {OPTIMIZERS.names()}"
+            )
+        if self.data.name not in DATASETS:
+            raise ValueError(
+                f"data.name {self.data.name!r} not registered; have {DATASETS.names()}"
+            )
+        if self.update.name not in UPDATE_STRATEGIES:
+            raise ValueError(
+                f"update.name {self.update.name!r} not registered; "
+                f"have {UPDATE_STRATEGIES.names()}"
+            )
+        if self.precision.storage not in ("fp32", "split_bf16"):
+            raise ValueError(
+                f"precision.storage must be fp32 or split_bf16, "
+                f"got {self.precision.storage!r}"
+            )
+        if not 0 <= self.precision.lo_bits <= 16:
+            raise ValueError("precision.lo_bits must be in [0, 16]")
+        split_storage = self.precision.storage == "split_bf16"
+        split_opt = self.optimizer.name == "split_sgd"
+        if split_storage != split_opt:
+            raise ValueError(
+                "Split-BF16 storage and the split_sgd optimizer imply each "
+                f"other (storage={self.precision.storage!r}, "
+                f"optimizer={self.optimizer.name!r}); the lo halves live on "
+                "both sides of the model/optimizer boundary"
+            )
+        if self.parallel.ranks < 1:
+            raise ValueError("parallel.ranks must be >= 1")
+        if self.schedule.steps < 0:
+            raise ValueError("schedule.steps must be non-negative")
+        if self.schedule.lr_schedule is not None:
+            sched = dict(self.schedule.lr_schedule)
+            name = sched.pop("name", None)
+            if name not in LR_SCHEDULES:
+                raise ValueError(
+                    f"schedule.lr_schedule.name {name!r} not registered; "
+                    f"have {LR_SCHEDULES.names()}"
+                )
+
+    # -- round trip ----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain-values dict; ``from_dict`` inverts it exactly."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunSpec":
+        """Build a spec from a plain dict, rejecting unknown keys."""
+        if not isinstance(data, dict):
+            raise TypeError(f"RunSpec wants a mapping, got {type(data).__name__}")
+        sections = {
+            "model": ModelSpec,
+            "data": DataSpec,
+            "optimizer": OptimizerSpec,
+            "update": UpdateSpec,
+            "precision": PrecisionSpec,
+            "parallel": ParallelSpec,
+            "schedule": ScheduleSpec,
+        }
+        unknown = sorted(set(data) - set(sections) - {"name"})
+        if unknown:
+            raise ValueError(f"RunSpec: unknown sections {unknown}")
+        kwargs: dict[str, Any] = {"name": data.get("name", "run")}
+        for key, section_cls in sections.items():
+            if key in data:
+                kwargs[key] = _from_mapping(section_cls, data[key], f"RunSpec.{key}")
+        return cls(**kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunSpec":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    # -- builders ----------------------------------------------------------
+
+    def build_config(self) -> DLRMConfig:
+        return self.model.build_config()
+
+    def build_model(
+        self, cfg: DLRMConfig | None = None, table_ids: list[int] | None = None
+    ) -> DLRM:
+        cfg = cfg or self.build_config()
+        return DLRM(
+            cfg,
+            seed=self.model.seed,
+            engine=self.model.engine,
+            storage=self.precision.storage,
+            lo_bits=self.precision.lo_bits,
+            table_ids=table_ids,
+        )
+
+    def build_dataset(self, cfg: DLRMConfig | None = None):
+        cfg = cfg or self.build_config()
+        return DATASETS.create(
+            self.data.name, cfg=cfg, seed=self.data.seed, **self.data.kwargs
+        )
+
+    def build_strategy(self) -> UpdateStrategy:
+        return UPDATE_STRATEGIES.create(self.update.name, threads=self.update.threads)
+
+    def build_optimizer(self, strategy: UpdateStrategy | None = None) -> SGD:
+        strategy = strategy or self.build_strategy()
+        kwargs = dict(self.optimizer.kwargs)
+        if self.optimizer.name == "split_sgd":
+            kwargs.setdefault("lo_bits", self.precision.lo_bits)
+        opt = OPTIMIZERS.create(
+            self.optimizer.name, lr=self.optimizer.lr, strategy=strategy, **kwargs
+        )
+        if isinstance(opt, SplitSGD) and opt.lo_bits != self.precision.lo_bits:
+            raise ValueError(
+                f"optimizer lo_bits {opt.lo_bits} != precision.lo_bits "
+                f"{self.precision.lo_bits}"
+            )
+        return opt
+
+    def build_lr_schedule(self):
+        """The configured LR schedule instance, or None."""
+        if self.schedule.lr_schedule is None:
+            return None
+        kwargs = dict(self.schedule.lr_schedule)
+        name = kwargs.pop("name")
+        return LR_SCHEDULES.create(name, **kwargs)
+
+    def train_batch_size(self, cfg: DLRMConfig | None = None) -> int:
+        """The per-step batch size: explicit, or the config's default."""
+        if self.schedule.batch_size is not None:
+            return self.schedule.batch_size
+        cfg = cfg or self.build_config()
+        return cfg.global_minibatch if self.parallel.ranks > 1 else cfg.minibatch

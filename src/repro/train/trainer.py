@@ -1,0 +1,351 @@
+"""Trainer: the one training loop every scenario shares.
+
+``Trainer`` (single process) and ``DistributedTrainer`` (hybrid-parallel
+on a :class:`~repro.parallel.cluster.SimCluster`) run the identical
+schedule: draw deterministic batch ``step`` from the dataset, call the
+model's ``train_step``, fire callbacks.  Because datasets are pure
+functions of ``(seed, batch_index)`` and the step counter is saved in
+every checkpoint, *resume is bit-identical*: training N steps equals
+training k, checkpointing, restoring and training N-k -- the invariant
+``tests/train/test_checkpoint.py`` pins for FP32 and Split-BF16.
+
+Build one three ways::
+
+    Trainer(model, opt, dataset, batch_size=128)     # objects you made
+    make_trainer(spec)                               # from a RunSpec
+    Trainer.from_checkpoint("run.npz")               # resume a file
+
+The optimizer must already be ``register()``-ed when passing objects
+directly (``from_spec`` does it for you); registering twice would reset
+Split-SGD lo halves and momentum state.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.batch import Batch
+from repro.core.metrics import accuracy, log_loss, roc_auc
+from repro.core.mlp import sigmoid
+from repro.core.model import DLRM
+from repro.core.optim import SGD
+from repro.parallel.cluster import SimCluster
+from repro.parallel.hybrid import DistributedDLRM
+from repro.train.callbacks import (
+    Callback,
+    CallbackList,
+    CheckpointCallback,
+    EarlyStopping,
+    LRScheduleCallback,
+    MetricLogger,
+    PeriodicEval,
+)
+from repro.train.checkpoint import (
+    Checkpoint,
+    load_checkpoint,
+    restore,
+    save_state,
+)
+from repro.train.spec import RunSpec
+
+
+def _spec_callbacks(spec: RunSpec) -> list[Callback]:
+    """The callbacks a spec's schedule section asks for, in dispatch order."""
+    sched = spec.schedule
+    cbs: list[Callback] = []
+    lr_schedule = spec.build_lr_schedule()
+    if lr_schedule is not None:
+        cbs.append(LRScheduleCallback(lr_schedule))
+    if sched.log_every:
+        # Trainer.losses already records every step; the logger is only
+        # attached when the spec asks for printed progress lines.
+        cbs.append(MetricLogger(print_every=sched.log_every))
+    if sched.eval_every:
+        cbs.append(PeriodicEval(every=sched.eval_every))
+    if sched.early_stop:
+        cbs.append(EarlyStopping(**sched.early_stop))
+    if sched.checkpoint_every:
+        directory = sched.checkpoint_dir or f"checkpoints/{spec.name}"
+        cbs.append(CheckpointCallback(directory, every=sched.checkpoint_every))
+    return cbs
+
+
+class Trainer:
+    """Single-process experiment driver around a :class:`DLRM`."""
+
+    def __init__(
+        self,
+        model: DLRM,
+        optimizer: SGD,
+        dataset,
+        batch_size: int | None = None,
+        callbacks: Sequence[Callback] = (),
+        spec: RunSpec | None = None,
+        loss_normalizer: float | None = None,
+        eval_size: int = 2048,
+        eval_index: int = 10_000_000,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.dataset = dataset
+        self.batch_size = batch_size or model.cfg.minibatch
+        self.callbacks = CallbackList(list(callbacks))
+        self.spec = spec
+        self.loss_normalizer = loss_normalizer
+        self.eval_size = eval_size
+        self.eval_index = eval_index
+        #: Global step: batches consumed so far; the dataset index of the
+        #: next batch.  Saved in checkpoints, restored on resume.
+        self.step = 0
+        self.losses: list[float] = []
+        self.should_stop = False
+        self.last_eval: dict[str, float] | None = None
+        self._eval_batch: Batch | None = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: RunSpec, callbacks: Sequence[Callback] = ()) -> "Trainer":
+        """Build model, data, optimizer and callbacks from a RunSpec."""
+        cfg = spec.build_config()
+        model = spec.build_model(cfg)
+        optimizer = spec.build_optimizer()
+        optimizer.register(model.parameters())
+        return cls(
+            model,
+            optimizer,
+            spec.build_dataset(cfg),
+            batch_size=spec.train_batch_size(cfg),
+            callbacks=[*_spec_callbacks(spec), *callbacks],
+            spec=spec,
+            eval_size=spec.schedule.eval_size,
+            eval_index=spec.schedule.eval_index,
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls, ckpt: Checkpoint | str | Path, callbacks: Sequence[Callback] = ()
+    ) -> "Trainer":
+        """Resume from a checkpoint file or an already-loaded
+        :class:`Checkpoint` (spec must be embedded)."""
+        if not isinstance(ckpt, Checkpoint):
+            ckpt = load_checkpoint(ckpt)
+        trainer = cls.from_spec(ckpt.require_spec(), callbacks)
+        restore(trainer.model, trainer.optimizer, ckpt)
+        trainer.step = ckpt.step
+        return trainer
+
+    # -- the loop ----------------------------------------------------------
+
+    def fit(self, steps: int | None = None) -> "Trainer":
+        """Train ``steps`` more steps (default: the spec's remaining budget).
+
+        Callbacks fire in registration order; any of them may set
+        ``should_stop``.  Returns ``self`` for chaining.
+        """
+        if steps is None:
+            if self.spec is None:
+                raise ValueError("steps is required when the trainer has no spec")
+            steps = max(0, self.spec.schedule.steps - self.step)
+        self.should_stop = False
+        self.callbacks.on_fit_start(self)
+        end = self.step + steps
+        while self.step < end and not self.should_stop:
+            step = self.step
+            batch = self.dataset.batch(self.batch_size, step)
+            self.callbacks.on_step_start(self, step)
+            loss = self.train_step(batch)
+            self.losses.append(loss)
+            self.step += 1
+            self.callbacks.on_step_end(self, step, loss)
+        self.callbacks.on_fit_end(self)
+        return self
+
+    def train_step(self, batch: Batch) -> float:
+        """One optimizer step on ``batch``; returns the loss."""
+        return self.model.train_step(
+            batch, self.optimizer, normalizer=self.loss_normalizer
+        )
+
+    def all_optimizers(self) -> list[SGD]:
+        """Every optimizer a schedule callback must keep in lock-step."""
+        return [self.optimizer]
+
+    # -- evaluation ----------------------------------------------------------
+
+    def predict_proba(self, batch: Batch) -> np.ndarray:
+        """Click probabilities through the no-grad inference path.
+
+        Bit-identical to ``model.predict_proba`` but leaves all training
+        state (pending activations, saved batch) untouched, so it is safe
+        between ``loss`` and ``backward``.
+        """
+        return sigmoid(self.model.infer(batch)).reshape(-1)
+
+    def eval_batch(self) -> Batch:
+        """The held-out batch: a dataset index far past any training step."""
+        if self._eval_batch is None:
+            self._eval_batch = self.dataset.batch(self.eval_size, self.eval_index)
+        return self._eval_batch
+
+    def evaluate(self, batch: Batch | None = None) -> dict[str, float]:
+        """Metrics on ``batch`` (default: the held-out eval batch)."""
+        batch = batch if batch is not None else self.eval_batch()
+        probs = self.predict_proba(batch)
+        return {
+            "eval_loss": log_loss(batch.labels, probs),
+            "auc": roc_auc(batch.labels, probs),
+            "accuracy": accuracy(batch.labels, probs),
+        }
+
+    def run_eval(self, step: int) -> dict[str, float]:
+        """Evaluate, record as ``last_eval``, fire ``on_eval``."""
+        metrics = self.evaluate()
+        self.last_eval = metrics
+        self.callbacks.on_eval(self, step, metrics)
+        return metrics
+
+    # -- checkpointing --------------------------------------------------------
+
+    def save_checkpoint(self, path: str | Path) -> None:
+        """Write model + optimizer + step (+ spec) as one ``.npz``."""
+        opt_state = self.optimizer.state_dict(
+            self.model.parameters(), self.model.tables
+        )
+        save_state(
+            path,
+            self.model.state_dict(),
+            opt_state,
+            step=self.step,
+            spec=self.spec,
+        )
+
+    def load_checkpoint(self, ckpt: Checkpoint | str | Path) -> None:
+        """Restore states and step into this trainer's live objects."""
+        ckpt = restore(self.model, self.optimizer, ckpt)
+        self.step = ckpt.step
+
+
+class DistributedTrainer(Trainer):
+    """The same loop over a hybrid-parallel :class:`DistributedDLRM`.
+
+    ``batch_size`` is the *global* minibatch; the distributed model
+    shards it internally and normalises the loss by GN, so losses (and
+    weights) match the single-process trainer on the same stream.
+    Checkpoints are saved *consolidated* (dense from rank 0, each table
+    from its owner) in the exact single-process layout -- a distributed
+    run's file serves and resumes anywhere.
+    """
+
+    def __init__(
+        self,
+        dist: DistributedDLRM,
+        dataset,
+        batch_size: int | None = None,
+        callbacks: Sequence[Callback] = (),
+        spec: RunSpec | None = None,
+        eval_size: int = 2048,
+        eval_index: int = 10_000_000,
+    ):
+        if dist.optimizers is None:
+            raise ValueError("attach_optimizers() before building a trainer")
+        batch_size = batch_size or dist.cfg.global_minibatch
+        if batch_size % dist.cluster.n_ranks:
+            raise ValueError(
+                f"global batch {batch_size} not divisible by "
+                f"{dist.cluster.n_ranks} ranks"
+            )
+        if eval_size % dist.cluster.n_ranks:
+            raise ValueError(
+                f"eval_size {eval_size} not divisible by "
+                f"{dist.cluster.n_ranks} ranks"
+            )
+        super().__init__(
+            model=dist.models[0],
+            optimizer=dist.optimizers[0],
+            dataset=dataset,
+            batch_size=batch_size,
+            callbacks=callbacks,
+            spec=spec,
+            eval_size=eval_size,
+            eval_index=eval_index,
+        )
+        self.dist = dist
+
+    @classmethod
+    def from_spec(
+        cls, spec: RunSpec, callbacks: Sequence[Callback] = ()
+    ) -> "DistributedTrainer":
+        cfg = spec.build_config()
+        par = spec.parallel
+        cluster = SimCluster(par.ranks, platform=par.platform, backend=par.backend)
+        dist = DistributedDLRM(
+            cfg,
+            cluster,
+            seed=spec.model.seed,
+            exchange=par.exchange,
+            engine=spec.model.engine,
+            storage=spec.precision.storage,
+            lo_bits=spec.precision.lo_bits,
+            placement=par.placement,
+        )
+        dist.attach_optimizers(spec.build_optimizer)
+        return cls(
+            dist,
+            spec.build_dataset(cfg),
+            batch_size=spec.train_batch_size(cfg),
+            callbacks=[*_spec_callbacks(spec), *callbacks],
+            spec=spec,
+            eval_size=spec.schedule.eval_size,
+            eval_index=spec.schedule.eval_index,
+        )
+
+    @classmethod
+    def from_checkpoint(
+        cls, ckpt: Checkpoint | str | Path, callbacks: Sequence[Callback] = ()
+    ) -> "DistributedTrainer":
+        if not isinstance(ckpt, Checkpoint):
+            ckpt = load_checkpoint(ckpt)
+        trainer = cls.from_spec(ckpt.require_spec(), callbacks)
+        trainer.load_checkpoint(ckpt)
+        return trainer
+
+    def train_step(self, batch: Batch) -> float:
+        return self.dist.train_step(batch)
+
+    def all_optimizers(self) -> list[SGD]:
+        assert self.dist.optimizers is not None
+        return list(self.dist.optimizers)
+
+    def predict_proba(self, batch: Batch) -> np.ndarray:
+        return self.dist.predict_proba(batch)
+
+    def save_checkpoint(self, path: str | Path) -> None:
+        save_state(
+            path,
+            self.dist.state_dict(),
+            self.dist.optimizer_state_dict(),
+            step=self.step,
+            spec=self.spec,
+        )
+
+    def load_checkpoint(self, ckpt: Checkpoint | str | Path) -> None:
+        if not isinstance(ckpt, Checkpoint):
+            ckpt = load_checkpoint(ckpt)
+        self.dist.load_state_dict(ckpt.model_state)
+        if ckpt.opt_state:
+            self.dist.load_optimizer_state_dict(ckpt.opt_state)
+        self.step = ckpt.step
+
+
+def make_trainer(
+    spec: RunSpec, callbacks: Sequence[Callback] = ()
+) -> Trainer:
+    """Spec -> the right trainer: distributed iff ``parallel.ranks > 1``."""
+    factory: Callable[..., Trainer] = (
+        DistributedTrainer.from_spec if spec.parallel.ranks > 1 else Trainer.from_spec
+    )
+    return factory(spec, callbacks)

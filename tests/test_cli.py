@@ -1,5 +1,7 @@
 """CLI: every experiment is addressable and prints a table."""
 
+import re
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main
@@ -67,3 +69,62 @@ class TestCli:
             ["fig16", "--epoch-batches", "4", "--eval-points", "2"]
         ) == 0
         assert "fp32_auc" in capsys.readouterr().out
+
+
+class TestTrainEvalCli:
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        from repro.train import RunSpec
+
+        path = tmp_path / "spec.json"
+        RunSpec.from_dict(
+            {
+                "name": "cli-test",
+                "model": {"config": "small", "rows_cap": 200, "minibatch": 16},
+                "schedule": {"steps": 2, "eval_size": 64},
+            }
+        ).save(path)
+        return path
+
+    def test_train_from_spec_writes_checkpoint(self, spec_path, tmp_path, capsys):
+        ckpt = tmp_path / "run.npz"
+        assert main(["train", "--spec", str(spec_path), "--checkpoint", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-test" in out and "final_loss" in out
+        assert ckpt.exists()
+
+    def test_train_resume_continues_step_count(self, spec_path, tmp_path, capsys):
+        ckpt = tmp_path / "run.npz"
+        main(["train", "--spec", str(spec_path), "--checkpoint", str(ckpt)])
+        capsys.readouterr()
+        assert main(
+            ["train", "--resume", str(ckpt), "--steps", "2",
+             "--checkpoint", str(ckpt)]
+        ) == 0
+        out = capsys.readouterr().out
+        # The summary row: 2 steps this run, global_step 4 after 2 + 2.
+        assert re.search(r"cli-test\s+2\s+4\s", out)
+
+    def test_train_requires_spec_or_resume(self):
+        with pytest.raises(SystemExit, match="need --spec or --resume"):
+            main(["train"])
+
+    def test_eval_checkpoint(self, spec_path, tmp_path, capsys):
+        ckpt = tmp_path / "run.npz"
+        main(["train", "--spec", str(spec_path), "--checkpoint", str(ckpt)])
+        capsys.readouterr()
+        assert main(["eval", "--checkpoint", str(ckpt), "--batch-size", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "auc" in out and "mean_ctr" in out
+
+    def test_serve_from_checkpoint(self, spec_path, tmp_path, capsys):
+        ckpt = tmp_path / "run.npz"
+        main(["train", "--spec", str(spec_path), "--checkpoint", str(ckpt)])
+        capsys.readouterr()
+        assert main(
+            ["serve", "--checkpoint", str(ckpt), "--requests", "40",
+             "--replicas", "2", "--budgets-ms", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Functional scoring with trained weights" in out
+        assert "Serving small" in out  # sweep aligned to the checkpoint config

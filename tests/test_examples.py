@@ -1,0 +1,60 @@
+"""Smoke tests: every example's ``main()`` runs at tiny scale.
+
+The examples are the documentation of record for the public API; this
+keeps them from rotting.  Each ``main()`` accepts scale parameters so
+the smoke run costs seconds, not minutes; stdout is captured (and
+spot-checked) rather than suppressed, so a crashed print path fails too.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import ``examples/<name>.py`` as a module (examples is not a package)."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main(steps=3, rows_cap=200, minibatch=16)
+        out = capsys.readouterr().out
+        assert "loss" in out and "speed-up" in out
+
+    def test_bf16_split_sgd(self, capsys):
+        load_example("bf16_split_sgd").main(steps=2, test_size=128)
+        out = capsys.readouterr().out
+        assert out.count("AUC") == 3
+
+    def test_distributed_training(self, capsys):
+        load_example("distributed_training").main(steps=2, minibatch=16)
+        out = capsys.readouterr().out
+        assert "losses agree" in out
+
+    def test_train_serve(self, capsys):
+        load_example("train_serve").main(steps=4)
+        out = capsys.readouterr().out
+        assert "bit-identical weights" in out and "bit-equal" in out
+
+    def test_embedding_contention(self, capsys):
+        load_example("embedding_contention").main(rows_n=2000, dim=16, lookups=512)
+        out = capsys.readouterr().out
+        assert "racefree" in out
+
+    @pytest.mark.parametrize("config", ["small"])
+    def test_scaling_study(self, config, capsys):
+        load_example("scaling_study").main(config)
+        out = capsys.readouterr().out
+        assert "strong scaling" in out and "weak scaling" in out
