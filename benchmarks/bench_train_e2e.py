@@ -1,0 +1,215 @@
+#!/usr/bin/env python
+"""End-to-end training throughput under the repro.exec worker pool.
+
+Measures steps/s of the *integrated* training loop -- prefetching loader,
+parallel ranks, sharded kernels, callbacks, the works -- for 1/2/4/8 pool
+workers, FP32 and Split-BF16, single-socket and distributed (4 ranks).
+The sequential baseline is ``workers=1``: bit-for-bit the pre-pool code
+path (inline execution, synchronous batch synthesis).
+
+Every parallel scenario is also checked *bitwise* against its sequential
+twin (final consolidated model state after the timed steps); like
+``bench_hotpath.py``, the run fails only if bit-identity breaks --
+speedups are informational and bounded above by the machine's core
+count (``cpu_count`` is recorded in the JSON for that reason).
+
+Results are written to ``BENCH_train_e2e.json`` at the repo root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_train_e2e.py [--quick] [--steps N]
+"""
+
+from __future__ import annotations
+
+import os
+
+# The pool is the parallelism under test: keep BLAS single-threaded so
+# scaling numbers measure repro.exec, not OpenBLAS (must precede the
+# first numpy import).
+for _var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
+    os.environ.setdefault(_var, "1")
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import DLRMConfig
+from repro.core.model import DLRM
+from repro.core.optim import SGD, SplitSGD
+from repro.core.update import FusedBackwardUpdate
+from repro.data.synthetic import RandomRecDataset
+from repro.exec.pool import pooled, tune_allocator_for_threads
+from repro.parallel.cluster import SimCluster
+from repro.parallel.hybrid import DistributedDLRM
+from repro.train import DistributedTrainer, Trainer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+WORKER_SWEEP = (1, 2, 4, 8)
+RANKS = 4
+
+
+def bench_config(quick: bool) -> DLRMConfig:
+    """A heavy-lookup DLRM: big enough that NumPy kernels (which release
+    the GIL) dominate the step, the regime the pool is built for."""
+    if quick:
+        # Same shape family at half the batch: steps must stay >100 ms
+        # or pool dispatch overhead drowns the signal on CI runners.
+        return DLRMConfig(
+            name="bench-e2e-quick",
+            minibatch=1024,
+            global_minibatch=1024,
+            local_minibatch=256,
+            lookups_per_table=4,
+            embedding_dim=128,
+            table_rows=(4096,) * 4,
+            dense_features=13,
+            bottom_mlp=(512, 256, 128),
+            top_mlp=(1024, 1024, 512, 256, 1),
+        )
+    # MLPerf-DLRM-like arithmetic density (deep MLPs, cache-resident
+    # tables): the step is dominated by compute-bound, GIL-releasing
+    # GEMMs, the regime where thread parallelism pays.  Lookup-heavy
+    # configs are random-access memory-bound instead -- a single core
+    # saturates the memory subsystem and no thread count helps.
+    return DLRMConfig(
+        name="bench-e2e",
+        minibatch=2048,
+        global_minibatch=2048,
+        local_minibatch=512,
+        lookups_per_table=4,
+        embedding_dim=128,
+        table_rows=(4096,) * 4,
+        dense_features=13,
+        bottom_mlp=(512, 256, 128),
+        top_mlp=(1024, 1024, 512, 256, 1),
+    )
+
+
+def make_optimizer(storage: str):
+    # The paper's best single-socket update (fused backward+update); the
+    # same strategy runs at every worker count, so speedups isolate the
+    # pool.
+    strategy = FusedBackwardUpdate()
+    if storage == "split_bf16":
+        return SplitSGD(lr=0.05, strategy=strategy)
+    return SGD(lr=0.05, strategy=strategy)
+
+
+def build_trainer(cfg: DLRMConfig, storage: str, distributed: bool) -> Trainer:
+    dataset = RandomRecDataset(cfg, seed=7)
+    if distributed:
+        cluster = SimCluster(RANKS, platform="cluster")
+        dist = DistributedDLRM(cfg, cluster, seed=1, storage=storage)
+        dist.attach_optimizers(lambda: make_optimizer(storage))
+        return DistributedTrainer(dist, dataset, batch_size=cfg.global_minibatch)
+    model = DLRM(cfg, seed=1, storage=storage)
+    opt = make_optimizer(storage)
+    opt.register(model.parameters())
+    return Trainer(model, opt, dataset, batch_size=cfg.minibatch)
+
+
+def final_state(trainer: Trainer) -> dict[str, np.ndarray]:
+    if isinstance(trainer, DistributedTrainer):
+        return trainer.dist.state_dict()
+    return trainer.model.state_dict()
+
+
+def run_scenario(
+    cfg: DLRMConfig, storage: str, distributed: bool, workers: int, steps: int, warmup: int
+) -> tuple[float, dict[str, np.ndarray]]:
+    """(steps/s over the timed window, final model state)."""
+    with pooled(workers):
+        trainer = build_trainer(cfg, storage, distributed)
+        trainer.fit(warmup)
+        t0 = time.perf_counter()
+        trainer.fit(steps)
+        elapsed = time.perf_counter() - t0
+        state = final_state(trainer)
+    return steps / elapsed, state
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small shapes (CI smoke)")
+    parser.add_argument("--steps", type=int, default=None, help="timed steps per scenario")
+    parser.add_argument("--warmup", type=int, default=2, help="untimed warmup steps")
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT / "BENCH_train_e2e.json", help="output JSON"
+    )
+    args = parser.parse_args()
+    steps = args.steps if args.steps is not None else (4 if args.quick else 6)
+    cfg = bench_config(args.quick)
+    cores = os.cpu_count() or 1
+    # Every scenario -- including the workers=1 baselines -- runs with
+    # the same tuned allocator, so speedups isolate the pool, not glibc
+    # mmap behaviour.  (The tuning itself is a large single-thread win;
+    # multi-worker pools apply it automatically in production use.)
+    tuned = tune_allocator_for_threads()
+
+    results: dict[str, dict] = {}
+    failures: list[str] = []
+    print(
+        f"end-to-end train bench (quick={args.quick}, steps={steps}, "
+        f"cores={cores}, numpy {np.__version__})"
+    )
+    for distributed in (False, True):
+        mode = "distributed" if distributed else "single"
+        batch = cfg.global_minibatch if distributed else cfg.minibatch
+        for storage in ("fp32", "split_bf16"):
+            name = f"{mode}_{storage}"
+            rows: dict[str, dict] = {}
+            base_rate, base_state = None, None
+            for workers in WORKER_SWEEP:
+                rate, state = run_scenario(
+                    cfg, storage, distributed, workers, steps, args.warmup
+                )
+                if base_rate is None:
+                    base_rate, base_state = rate, state
+                identical = all(
+                    np.array_equal(state[k], base_state[k]) for k in base_state
+                ) and set(state) == set(base_state)
+                if not identical:
+                    failures.append(f"{name}@workers={workers}")
+                rows[str(workers)] = {
+                    "steps_per_s": round(rate, 3),
+                    "rows_per_s": round(rate * batch, 1),
+                    "speedup": round(rate / base_rate, 2),
+                    "bit_identical": bool(identical),
+                }
+                print(
+                    f"{name:<24} workers={workers}  {rate:7.3f} steps/s  "
+                    f"{rate * batch:10.1f} rows/s  {rate / base_rate:5.2f}x  "
+                    f"[{'bitwise' if identical else 'MISMATCH'}]"
+                )
+            results[name] = {
+                "mode": mode,
+                "storage": storage,
+                "batch": batch,
+                "ranks": RANKS if distributed else 1,
+                "workers": rows,
+            }
+
+    payload = {
+        "bench": "train_e2e",
+        "quick": bool(args.quick),
+        "steps": steps,
+        "warmup": args.warmup,
+        "ranks": RANKS,
+        "cpu_count": cores,
+        "allocator_tuned": tuned,
+        "numpy": np.__version__,
+        "config": cfg.name,
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if failures:
+        print(f"BIT-IDENTITY FAILURES: {failures}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,9 @@ comm      Functional collectives, backend progress models (MPI vs CCL),
 parallel  The simulated SPMD cluster, the hybrid-parallel DLRM, its
           analytic paper-scale twin, and the MLP overlap engine.
 data      Random + synthetic-Criteo datasets, loaders.
+exec      Real thread parallelism: the process-wide worker pool behind
+          parallel ranks, the sharded kernels and the prefetching data
+          pipeline (deterministic, bit-identical to sequential runs).
 perf      Virtual clocks, profilers, report tables.
 bench     Experiment drivers regenerating every paper table and figure.
 train     The unified experiment API: JSON-round-trippable RunSpecs,
@@ -35,6 +38,7 @@ __version__ = "1.1.0"
 from repro.core.config import CONFIGS, LARGE, MLPERF, SMALL, DLRMConfig, get_config
 from repro.core.model import DLRM
 from repro.core.optim import SGD, MasterWeightSGD, SparseAdagrad, SplitSGD
+from repro.exec import PrefetchLoader, WorkerPool, get_pool, set_pool_workers
 from repro.parallel.cluster import SimCluster
 from repro.parallel.hybrid import DistributedDLRM
 from repro.parallel.timing import model_iteration, single_socket_iteration
@@ -62,8 +66,12 @@ __all__ = [
     "LARGE",
     "MLPERF",
     "MasterWeightSGD",
+    "PrefetchLoader",
     "RunSpec",
     "SGD",
+    "WorkerPool",
+    "get_pool",
+    "set_pool_workers",
     "SMALL",
     "SimCluster",
     "SparseAdagrad",

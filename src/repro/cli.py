@@ -8,7 +8,7 @@ Usage::
     python -m repro.cli fig9 --config large
     python -m repro.cli fig16 --epoch-batches 40 --eval-points 10
     python -m repro.cli iteration --config mlperf --ranks 16 --backend ccl
-    python -m repro.cli train --spec spec.json --checkpoint run.npz
+    python -m repro.cli train --spec spec.json --checkpoint run.npz --workers 4
     python -m repro.cli eval --checkpoint run.npz
     python -m repro.cli serve --checkpoint run.npz
 
@@ -125,6 +125,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     tr.add_argument("--spec", metavar="JSON", help="path to a RunSpec JSON file")
     tr.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker threads for the process-wide pool (parallel ranks, "
+        "sharded kernels, batch prefetch); default: REPRO_WORKERS or 1",
+    )
+    tr.add_argument(
         "--resume", metavar="NPZ", help="resume from a checkpoint (spec embedded)"
     )
     tr.add_argument(
@@ -191,10 +196,23 @@ def _dispatch(args: argparse.Namespace) -> str:
         )
         return format_table(curves.rows(), title=EXPERIMENTS[name])
     if name == "train":
-        from repro.train import DistributedTrainer, RunSpec, Trainer, make_trainer
+        from repro.train import (
+            DistributedTrainer,
+            RunSpec,
+            StepTimer,
+            Trainer,
+            make_trainer,
+        )
 
         if not args.spec and not args.resume:
             raise SystemExit("repro train: need --spec or --resume")
+        if args.workers is not None:
+            if args.workers < 1:
+                raise SystemExit("repro train: --workers must be >= 1")
+            from repro.exec import set_pool_workers
+
+            set_pool_workers(args.workers)
+        timer = StepTimer()
         if args.resume:
             from repro.train import load_checkpoint
 
@@ -202,19 +220,24 @@ def _dispatch(args: argparse.Namespace) -> str:
             ckpt = load_checkpoint(args.resume)
             spec = ckpt.require_spec()
             cls = DistributedTrainer if spec.parallel.ranks > 1 else Trainer
-            trainer = cls.from_checkpoint(ckpt)
+            trainer = cls.from_checkpoint(ckpt, callbacks=[timer])
         else:
             _require_file(args.spec, "repro train --spec")
             spec = RunSpec.load(args.spec)
-            trainer = make_trainer(spec)
+            trainer = make_trainer(spec, callbacks=[timer])
         start = trainer.step
         trainer.fit(args.steps)
         metrics = trainer.evaluate()
+        steps_per_s = (
+            len(timer.times) / timer.total_s if timer.total_s > 0 else float("nan")
+        )
         row = {
             "run": spec.name,
             "steps": trainer.step - start,
             "global_step": trainer.step,
             "final_loss": trainer.losses[-1] if trainer.losses else float("nan"),
+            "steps_per_s": steps_per_s,
+            "rows_per_s": steps_per_s * trainer.batch_size,
             **metrics,
         }
         out = format_table([row], title=f"Training run '{spec.name}'")

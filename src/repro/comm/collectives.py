@@ -3,13 +3,22 @@
 These are the data-movement semantics of the collectives the paper uses
 (allreduce realised as reduce-scatter + allgather, personalised alltoall,
 per-table scatters).  They follow the mpi4py buffer-object conventions:
-the caller hands one buffer (or buffer list) per rank, and receives new
-arrays; nothing here knows about time -- the simulated cluster charges
-cost separately.
+the caller hands one buffer (or buffer list) per rank, and receives
+result arrays; nothing here knows about time -- the simulated cluster
+charges cost separately.
 
 All functions are exact (FP32 sums in a fixed rank order) so that the
 distributed == single-socket equivalence tests can demand bitwise
 reproducibility.
+
+Aliasing convention: the *sum* collectives (:func:`allreduce_sum`,
+:func:`reduce_scatter_sum`, :func:`allgather_concat`) accumulate into a
+single buffer and hand every rank a reference (or slice view) of it
+rather than a per-rank copy -- the replicated result is identical by
+definition, and no caller mutates a received reduction in place (they
+read it or copy it into parameters).  Inputs are never modified.  The
+*routing* collectives (alltoall/scatter/gather) still copy: their
+outputs alias caller-owned send buffers otherwise.
 """
 
 from __future__ import annotations
@@ -20,40 +29,60 @@ import numpy as np
 def _check_same_shapes(bufs: list[np.ndarray]) -> None:
     if not bufs:
         raise ValueError("need at least one rank buffer")
-    shape = bufs[0].shape
+    shape, dtype = bufs[0].shape, bufs[0].dtype
     for i, b in enumerate(bufs):
         if b.shape != shape:
             raise ValueError(f"rank {i} buffer shape {b.shape} != rank 0 {shape}")
+        # The in-place accumulation folds into rank 0's dtype; a wider
+        # rank buffer would silently downcast, so reject mixed dtypes
+        # (real collectives are homogeneous anyway).
+        if b.dtype != dtype:
+            raise ValueError(f"rank {i} buffer dtype {b.dtype} != rank 0 {dtype}")
+
+
+def _sum_fixed_order(bufs: list[np.ndarray]) -> np.ndarray:
+    """Fixed-rank-order FP32 fold into one freshly-allocated buffer.
+
+    One allocation total: rank 0 is copied once, every later rank is
+    accumulated in place with ``np.add(..., out=total)`` -- the exact
+    left fold the old ``total = total + b`` spelling performed, without
+    its R-1 temporaries.
+    """
+    total = bufs[0].copy()
+    for b in bufs[1:]:
+        np.add(total, b, out=total)
+    return total
 
 
 def allreduce_sum(bufs: list[np.ndarray]) -> list[np.ndarray]:
-    """Every rank receives the element-wise sum of all rank buffers."""
+    """Every rank receives the element-wise sum of all rank buffers.
+
+    All ranks share one result buffer (see the module aliasing note)."""
     _check_same_shapes(bufs)
-    total = bufs[0].copy()
-    for b in bufs[1:]:
-        total = total + b
-    return [total.copy() for _ in bufs]
+    total = _sum_fixed_order(bufs)
+    return [total for _ in bufs]
 
 
 def reduce_scatter_sum(bufs: list[np.ndarray]) -> list[np.ndarray]:
     """Rank r receives the r-th chunk of the element-wise sum.
 
     Chunks follow ``np.array_split`` over the first axis (uneven sizes
-    allowed, like MPI_Reduce_scatter with counts).
+    allowed, like MPI_Reduce_scatter with counts); they are views into
+    one shared sum buffer (see the module aliasing note).
     """
     _check_same_shapes(bufs)
-    total = bufs[0].copy()
-    for b in bufs[1:]:
-        total = total + b
-    return [c.copy() for c in np.array_split(total, len(bufs), axis=0)]
+    return list(np.array_split(_sum_fixed_order(bufs), len(bufs), axis=0))
 
 
 def allgather_concat(chunks: list[np.ndarray]) -> list[np.ndarray]:
-    """Every rank receives the concatenation of all rank chunks."""
+    """Every rank receives the concatenation of all rank chunks.
+
+    ``np.concatenate`` already materialises a fresh buffer; all ranks
+    share it (see the module aliasing note)."""
     if not chunks:
         raise ValueError("need at least one rank chunk")
     full = np.concatenate(chunks, axis=0)
-    return [full.copy() for _ in chunks]
+    return [full for _ in chunks]
 
 
 def alltoall_exchange(send: list[list[np.ndarray]]) -> list[list[np.ndarray]]:

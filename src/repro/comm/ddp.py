@@ -66,26 +66,40 @@ class DistributedDataParallelReducer:
         lengths = {len(g) for g in grads_per_rank}
         if len(lengths) != 1:
             raise ValueError("all ranks must reduce the same number of tensors")
-        # Pack: flatten the per-rank list into one buffer (framework cost).
-        flats = []
-        for r, grads in enumerate(grads_per_rank):
-            flat = np.concatenate([np.asarray(g, dtype=np.float32).ravel() for g in grads])
-            flats.append(flat)
+        from repro.exec.pool import get_pool
+
+        pool = get_pool()
+
+        # Pack: flatten each rank's list into one buffer (framework
+        # cost).  Per-rank packs touch only rank-local state, so they
+        # run concurrently on the worker pool -- same buffers, same
+        # charges, in any schedule.
+        def _pack(r: int) -> np.ndarray:
+            flat = np.concatenate(
+                [np.asarray(g, dtype=np.float32).ravel() for g in grads_per_rank[r]]
+            )
             t = cluster.cost.copy_time(2.0 * flat.nbytes, cores=cluster.compute_cores)
             cluster.clocks[r].advance(t)
             cluster.profilers[r].add(f"comm.{op}.framework", t)
+            return flat
+
+        flats = pool.map(_pack, list(cluster.ranks))
         # Transfer (reduce-scatter + allgather under the hood).
         summed, handle = cluster.allreduce(flats, op=op, blocking=blocking)
+
         # Unpack: scatter the summed flat buffer back into the original
         # arrays (framework cost; physically happens at wait time, charged
-        # here in lockstep -- same category, same magnitude).
-        for r, grads in enumerate(grads_per_rank):
+        # here in lockstep -- same category, same magnitude).  Each rank
+        # writes only its own gradient arrays: concurrent-safe.
+        def _unpack(r: int) -> None:
             offset = 0
-            for g in grads:
+            for g in grads_per_rank[r]:
                 n = g.size
                 g[...] = summed[r][offset : offset + n].reshape(g.shape)
                 offset += n
             t = cluster.cost.copy_time(2.0 * flats[r].nbytes, cores=cluster.compute_cores)
             cluster.clocks[r].advance(t)
             cluster.profilers[r].add(f"comm.{op}.framework", t)
+
+        pool.map(_unpack, list(cluster.ranks))
         return handle

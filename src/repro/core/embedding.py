@@ -121,8 +121,18 @@ class EmbeddingBag:
         self.weight = w
 
     def gather(self, indices: np.ndarray) -> np.ndarray:
-        """Read rows in compute precision (FP32 here; BF16 when split)."""
-        return self.weight[indices]
+        """Read rows in compute precision (FP32 here; BF16 when split).
+
+        Gathers through ``np.take(..., out=..., mode="clip")``: bitwise
+        the fancy-indexing result, but on NumPy's no-buffering fast path
+        -- faster, and it releases the GIL so parallel ranks' lookups
+        overlap (plain advanced indexing serialises them).  The range
+        check keeps fancy indexing's loud out-of-range failure (clip
+        mode would silently read the last row).
+        """
+        indices = self._check_indices(indices)
+        out = np.empty((indices.shape[0], self.dim), dtype=np.float32)
+        return np.take(self.weight, indices, axis=0, out=out, mode="clip")
 
     def dense_weight(self) -> np.ndarray:
         """The full table as the compute pass sees it (tests/inspection)."""
@@ -193,12 +203,16 @@ class EmbeddingBag:
 
     # -- compute layer -----------------------------------------------------------
 
-    def _check_lookup(self, indices: np.ndarray, offsets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def _check_indices(self, indices: np.ndarray) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)
-        offsets = np.asarray(offsets, dtype=np.int64)
+        if indices.ndim != 1:
+            raise ValueError("embedding indices must be a flat 1-D vector")
         if indices.size and (indices.min() < 0 or indices.max() >= self.rows):
             raise IndexError("embedding indices out of range")
-        return indices, offsets
+        return indices
+
+    def _check_lookup(self, indices: np.ndarray, offsets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        return self._check_indices(indices), np.asarray(offsets, dtype=np.int64)
 
     def forward(self, indices: np.ndarray, offsets: np.ndarray) -> np.ndarray:
         """Alg. 1: ``Y[N, E]`` with ``Y[n] = sum over bag n of W[I[s]]``."""
@@ -208,12 +222,26 @@ class EmbeddingBag:
     def backward(
         self, grad_out: np.ndarray, indices: np.ndarray, offsets: np.ndarray
     ) -> SparseGrad:
-        """Alg. 2: each looked-up row receives its bag's output gradient."""
+        """Alg. 2: each looked-up row receives its bag's output gradient.
+
+        The row-per-lookup expansion gathers through ``np.take(out=)``
+        instead of ``np.repeat``: only the small ``(NS,)`` bag-id vector
+        is repeated, the ``(NS, E)`` payload is one GIL-releasing gather
+        of the same rows -- bitwise the repeated array.
+        """
         indices, offsets = self._check_lookup(indices, offsets)
+        grad_out = np.ascontiguousarray(grad_out, dtype=np.float32)
         lengths = np.diff(offsets)
-        values = np.repeat(
-            np.asarray(grad_out, dtype=np.float32), lengths, axis=0
-        )
+        # Keep the loud failure the np.repeat spelling had: a clip-mode
+        # gather would silently reuse grad_out's last row instead.
+        if grad_out.shape[0] != lengths.shape[0]:
+            raise ValueError(
+                f"grad_out has {grad_out.shape[0]} rows for "
+                f"{lengths.shape[0]} bags"
+            )
+        bag_ids = np.repeat(np.arange(lengths.shape[0]), lengths)
+        values = np.empty((indices.shape[0], self.dim), dtype=np.float32)
+        np.take(grad_out, bag_ids, axis=0, out=values, mode="clip")
         return SparseGrad(indices, values)
 
 
@@ -247,7 +275,10 @@ class SplitEmbeddingBag(EmbeddingBag):
 
     def gather(self, indices: np.ndarray) -> np.ndarray:
         # Forward/backward read only the BF16 half: 2x less bandwidth.
-        return bf16_to_fp32(self.hi[indices])
+        # Same GIL-releasing take-gather (and range check) as FP32.
+        indices = self._check_indices(indices)
+        hi = np.empty((indices.shape[0], self.dim), dtype=np.uint16)
+        return bf16_to_fp32(np.take(self.hi, indices, axis=0, out=hi, mode="clip"))
 
     def dense_weight(self) -> np.ndarray:
         return bf16_to_fp32(self.hi)
@@ -279,6 +310,24 @@ class SplitEmbeddingBag(EmbeddingBag):
         self._apply_aggregated(uniq, agg)
 
     def _apply_aggregated(self, uniq: np.ndarray, agg: np.ndarray) -> None:
+        from repro.kernels.segment import resolve_pool, shardable
+
+        pool = resolve_pool(None)
+        if shardable(pool, uniq.shape[0], agg.size):
+            # Rows in ``uniq`` are distinct, so pool workers owning
+            # disjoint [lo, hi) slices touch disjoint table rows; the
+            # per-row combine/add/split is element-wise, so the parallel
+            # update is bitwise the sequential one.
+            pool.run_sharded(
+                lambda lo, hi, tid: self._apply_aggregated_range(
+                    uniq[lo:hi], agg[lo:hi]
+                ),
+                uniq.shape[0],
+            )
+            return
+        self._apply_aggregated_range(uniq, agg)
+
+    def _apply_aggregated_range(self, uniq: np.ndarray, agg: np.ndarray) -> None:
         rows = combine_fp32(self.hi[uniq], self.lo[uniq])
         rows = rows + agg
         hi, lo = split_fp32(rows)

@@ -25,7 +25,7 @@ from repro.core.loss import BCEWithLogitsLoss
 from repro.core.mlp import MLP, sigmoid
 from repro.core.optim import SGD
 from repro.core.param import Parameter
-from repro.core.update import FusedBackwardUpdate
+from repro.core.update import uses_fused_dispatch
 from repro.util import rng_from
 
 
@@ -268,9 +268,7 @@ class DLRM:
         materialising path.
         """
         strategy = getattr(opt, "strategy", None)
-        fused = isinstance(strategy, FusedBackwardUpdate) and (
-            type(opt).step_sparse is SGD.step_sparse
-        )
+        fused = uses_fused_dispatch(opt)
         loss = self.loss(batch, normalizer=normalizer)
         if not fused:
             self.backward()

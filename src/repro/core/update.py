@@ -159,6 +159,13 @@ class FusedBackwardUpdate(UpdateStrategy):
         """Alg. 2 + Alg. 3/4 in one pass over the lookups of one table."""
         indices, offsets = table._check_lookup(indices, offsets)
         lengths = np.diff(offsets)
+        # The fold gathers bag rows with clip-mode take; reject a bag
+        # count mismatch loudly instead of silently reusing the last row.
+        if grad_out.shape[0] != lengths.shape[0]:
+            raise ValueError(
+                f"grad_out has {grad_out.shape[0]} rows for "
+                f"{lengths.shape[0]} bags"
+            )
         bag_ids = np.repeat(np.arange(offsets.shape[0] - 1), lengths)
         scaled = -np.float32(lr) * np.ascontiguousarray(grad_out, dtype=np.float32)
         self._inner.last_thread_counts = bucket_by_row_ranges(
@@ -166,6 +173,24 @@ class FusedBackwardUpdate(UpdateStrategy):
         )
         if indices.size:
             table.apply_bag_updates(scaled, bag_ids, indices)
+
+
+def uses_fused_dispatch(opt) -> bool:
+    """True when training loops may feed bag-level gradients straight to
+    :meth:`FusedBackwardUpdate.apply_fused` instead of materialising
+    Alg. 2's row-per-lookup gradient.
+
+    The single gate shared by ``DLRM.train_step`` and the distributed
+    runtime (they must dispatch identically or distributed ==
+    single-socket bit-exactness breaks): the optimizer's strategy is the
+    fused one *and* its sparse step is the plain SGD scatter (a subclass
+    overriding ``step_sparse`` needs the materialised :class:`SparseGrad`).
+    """
+    from repro.core.optim import SGD  # lazy: optim imports this module
+
+    return isinstance(getattr(opt, "strategy", None), FusedBackwardUpdate) and (
+        type(opt).step_sparse is SGD.step_sparse
+    )
 
 
 STRATEGIES: dict[str, type[UpdateStrategy]] = {

@@ -1,0 +1,33 @@
+"""repro.exec: real thread-parallel execution for the reproduction.
+
+Three layers share one process-wide :class:`WorkerPool`:
+
+* **parallel ranks** -- :class:`~repro.parallel.hybrid.DistributedDLRM`
+  runs each rank's compute phases concurrently (collectives stay
+  fixed-order, so distributed == single-socket bit-exactness holds);
+* **parallel kernels** -- the segment kernels and the blocked GEMM shard
+  rows over the Alg. 4/5 static partitions (disjoint ownership, so the
+  parallel result is bitwise the sequential one);
+* **prefetching pipeline** -- :class:`PrefetchLoader` / :class:`PrefetchMap`
+  synthesize the next batch on the pool while the current one computes.
+
+The pool defaults to 1 worker (pure sequential execution); opt in with
+``set_pool_workers(n)``, the CLI's ``--workers n``, or ``REPRO_WORKERS``.
+"""
+
+from repro.exec.pool import (
+    WorkerPool,
+    get_pool,
+    pooled,
+    set_pool_workers,
+)
+from repro.exec.prefetch import PrefetchLoader, PrefetchMap
+
+__all__ = [
+    "WorkerPool",
+    "get_pool",
+    "pooled",
+    "set_pool_workers",
+    "PrefetchLoader",
+    "PrefetchMap",
+]

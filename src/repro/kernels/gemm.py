@@ -19,6 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.kernels.blocked import BlockedLayout
+from repro.kernels.segment import resolve_pool
 from repro.kernels.threads import static_partition
 
 
@@ -91,12 +92,19 @@ def batch_reduce_gemm(
         counter.calls += 1
 
 
+#: Minimum x4 elements before the fast path shards over the pool
+#: (distinct name from the segment-fold threshold, which is far higher:
+#: GEMMs are compute-bound and profit from threads much earlier).
+GEMM_PARALLEL_MIN_ELEMS = 1 << 14
+
+
 def blocked_matmul(
     x4: np.ndarray,
     w4: np.ndarray,
     layout: BlockedLayout,
     threads: int = 1,
     counter: FlopCounter | None = None,
+    pool=None,
 ) -> np.ndarray:
     """Paper Algorithm 5: the forward pass of a fully connected layer.
 
@@ -104,15 +112,21 @@ def blocked_matmul(
     result is ``[Kb][Nb][bn][bk]``.  Output blocks are statically assigned
     to ``threads`` workers over the (Kb, Nb) grid; each worker prepares the
     per-``Cb`` address lists and calls the batch-reduce kernel, exactly as
-    lines 1-9 of Alg. 5 describe.  Execution is sequential (this is a
-    simulator) but the partitioning is observable for tests.
+    lines 1-9 of Alg. 5 describe.  When the process-wide worker pool is
+    wider than one thread, those static ranges run *concurrently* -- each
+    range owns disjoint output blocks and a private flop counter (merged
+    in range order), so the result and the accounting are bitwise the
+    sequential ones.
 
     When no ``counter`` is requested (nothing observes the per-block
     decomposition), the Python loop over ``(Kb, Nb)`` work items is
     skipped entirely: all output blocks come from one reshaped
     ``tensordot`` -- a single large matmul, the way a production kernel
-    would amortise dispatch.  The per-block loop remains the observable
-    and testable path.
+    would amortise dispatch.  With a multi-worker pool the fast path
+    row-shards the ``Nb`` axis over the Alg. 4 static partition: each
+    worker contracts its minibatch-block slice with the same reduction
+    extent, which leaves every output element's dot product untouched
+    (pinned bitwise by ``tests/kernels/test_parallel_kernels.py``).
     """
     cb, nb, bn, bc = x4.shape
     kb, cb2, bc2, bk = w4.shape
@@ -120,15 +134,36 @@ def blocked_matmul(
         raise ValueError(f"layout mismatch: X{x4.shape} W{w4.shape}")
     layout.validate(nb * bn, cb * bc, kb * bk)
     if counter is None:
+        resolved = resolve_pool(pool)
+        if (
+            resolved.effective_workers > 1
+            and nb >= 2
+            and x4.size >= GEMM_PARALLEL_MIN_ELEMS
+        ):
+            y4 = np.empty((kb, nb, bn, bk), dtype=np.result_type(x4, w4))
+
+            def _shard(lo: int, hi: int, tid: int) -> None:
+                part = np.tensordot(x4[:, lo:hi], w4, axes=([0, 3], [1, 2]))
+                y4[:, lo:hi] = part.transpose(2, 0, 1, 3)
+
+            resolved.run_sharded(_shard, nb)
+            return y4
         # Fast path: contract (Cb, bc) in one shot; [Nb, bn, Kb, bk] out.
         y = np.tensordot(x4, w4, axes=([0, 3], [1, 2]))
         return np.ascontiguousarray(y.transpose(2, 0, 1, 3))
     y4 = np.zeros((kb, nb, bn, bk), dtype=np.result_type(x4, w4))
     work_items = [(ibk, ibn) for ibk in range(kb) for ibn in range(nb)]
-    for lo, hi in static_partition(len(work_items), threads):
-        for ibk, ibn in work_items[lo:hi]:
+    ranges = static_partition(len(work_items), threads)
+
+    def _run_range(bounds: tuple[int, int]) -> FlopCounter:
+        sub = FlopCounter()
+        for ibk, ibn in work_items[bounds[0] : bounds[1]]:
             # Lines 5-8: gather the Cb sub-blocks feeding this output block.
             a_ptrs = w4[ibk]          # [Cb, bc, bk]
             b_ptrs = x4[:, ibn]       # [Cb, bn, bc]
-            batch_reduce_gemm(a_ptrs, b_ptrs, y4[ibk, ibn], counter)
+            batch_reduce_gemm(a_ptrs, b_ptrs, y4[ibk, ibn], sub)
+        return sub
+
+    for sub in resolve_pool(pool).map(_run_range, ranges):
+        counter.merge(sub)
     return y4

@@ -34,6 +34,23 @@ fall back to the reference formulation.
 
 The ``*_reference`` functions are the naive formulations themselves,
 kept as the oracle for tests and for ``benchmarks/bench_hotpath.py``.
+
+Thread parallelism
+------------------
+When the process-wide :class:`~repro.exec.pool.WorkerPool` is wider than
+one thread, the fold kernels run their length buckets on the pool in
+balanced payload chunks: the index bookkeeping (unique lengths, segment
+selections -- the GIL-held part) happens once on the calling thread, and
+workers execute only the GIL-releasing gathers and strided sums over
+disjoint output rows.  Every individual segment is folded by the same
+gather+strided-sum the sequential kernel performs -- no summation order
+changes, so the parallel result is bitwise the sequential one (pinned by
+``tests/kernels/test_parallel_kernels.py``).  The thresholds below keep
+small and medium folds sequential: these kernels are random-access
+memory-bound, so sharding pays only once per-chunk payloads reach
+megabytes (and arithmetic density is high, e.g. wide rows); the coarser
+rank-level parallelism of :mod:`repro.parallel.hybrid` is the layer that
+wins on typical shapes.
 """
 
 from __future__ import annotations
@@ -43,6 +60,45 @@ from dataclasses import dataclass
 import numpy as np
 
 _INT32_MAX = np.iinfo(np.int32).max
+
+#: Minimum shardable items (segments/bags) before threads engage.
+PARALLEL_MIN_SEGMENTS = 256
+#: Minimum total float32 elements folded before threads engage.  Folds
+#: are memory-bound with GIL-held index bookkeeping between the big
+#: GIL-free gathers, so sharding only pays once each worker's chunk
+#: carries megabytes of payload; below this the sequential kernel wins
+#: and the pool is better spent one level up, on whole ranks.
+PARALLEL_MIN_ELEMS = 1 << 21
+
+
+def resolve_pool(pool):
+    if pool is not None:
+        return pool
+    from repro.exec.pool import get_pool  # lazy: keeps kernels import-light
+
+    return get_pool()
+
+
+def shardable(pool, items: int, elems: int) -> bool:
+    return (
+        pool.effective_workers > 1
+        and items >= PARALLEL_MIN_SEGMENTS
+        and elems >= PARALLEL_MIN_ELEMS
+    )
+
+
+def _take_rows(src: np.ndarray, flat_idx: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Gather ``src[flat_idx]`` into the preallocated 2-D ``out``.
+
+    ``np.take(..., out=..., mode="clip")`` hits NumPy's no-buffering fast
+    path: it is markedly faster than fancy indexing *and* releases the
+    GIL, which plain advanced indexing never does -- the property the
+    thread-sharded kernels and the parallel-rank trainer stand on.  The
+    gathered bits are identical either way; ``mode="clip"`` only changes
+    the (never exercised) out-of-range behaviour, since every caller's
+    indices are pre-validated or plan-derived.
+    """
+    return np.take(src, flat_idx, axis=0, out=out, mode="clip")
 
 
 @dataclass(frozen=True)
@@ -92,12 +148,103 @@ def plan_segments(indices: np.ndarray) -> SegmentPlan:
     return SegmentPlan(order, sorted_rows, uniq, starts, lengths)
 
 
+def _fold_range(
+    values: np.ndarray,
+    rowmap: np.ndarray | None,
+    starts: np.ndarray,
+    lengths: np.ndarray,
+    initial: np.ndarray | None,
+    out: np.ndarray,
+    lo: int,
+    hi: int,
+) -> None:
+    """Sequentially fold segments ``[lo, hi)``: one length bucket at a time.
+
+    Shared body of the fold kernels (sorted duplicate runs with
+    ``rowmap``, contiguous bags with ``rowmap=None``): each bucket runs
+    through the same :func:`_fold_one_chunk` the parallel path
+    dispatches, so sequential and pool execution are the same code on
+    the same per-segment folds.  Zero-length bags are skipped (their
+    output rows keep whatever the caller initialised them to).
+    """
+    seg_lengths = lengths[lo:hi]
+    for ln in np.unique(seg_lengths):
+        if ln == 0:
+            continue
+        sel = lo + np.flatnonzero(seg_lengths == ln)
+        _fold_one_chunk(values, rowmap, starts, initial, out, int(ln), sel)
+
+
+def _fold_chunks(
+    lengths: np.ndarray, shards: int
+) -> list[tuple[int, np.ndarray]] | None:
+    """Split the length buckets of a fold into balanced payload chunks.
+
+    Returns ``[(ln, sel_chunk), ...]`` where each chunk is a contiguous
+    slice of one length-bucket's segment selection, sized so every chunk
+    carries a comparable number of summed elements.  All of this index
+    bookkeeping (the GIL-held part of a fold) happens *once* on the
+    calling thread; workers receive chunks whose remaining work -- the
+    gather and the strided sum -- releases the GIL.  Returns None when
+    the fold has no exploitable chunking (degenerate inputs).
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return None
+    target = max(1, total // (2 * shards))
+    chunks: list[tuple[int, np.ndarray]] = []
+    for ln in np.unique(lengths):
+        if ln == 0:
+            continue
+        sel = np.flatnonzero(lengths == ln)
+        per_chunk = max(1, target // int(ln))
+        for pos in range(0, sel.shape[0], per_chunk):
+            chunks.append((int(ln), sel[pos : pos + per_chunk]))
+    return chunks if len(chunks) > 1 else None
+
+
+def _fold_one_chunk(
+    values: np.ndarray,
+    rowmap: np.ndarray,
+    starts: np.ndarray,
+    initial: np.ndarray | None,
+    out: np.ndarray,
+    ln: int,
+    sel: np.ndarray,
+) -> None:
+    """Fold the segments of one payload chunk (all of length ``ln``).
+
+    The same gather + strided-axis sum the sequential bucket loop runs,
+    restricted to ``sel`` -- each segment's fold is unchanged, so chunk
+    boundaries never change any output row's bits.
+    """
+    e = values.shape[1]
+    k = sel.shape[0]
+    gpos = starts[sel][:, None] + np.arange(ln)
+    if rowmap is None:  # contiguous segments: positions are row indices
+        flat_idx = gpos.reshape(-1)
+    else:
+        flat_idx = np.empty(gpos.size, dtype=rowmap.dtype)
+        np.take(rowmap, gpos.reshape(-1), out=flat_idx, mode="clip")
+    if initial is None:
+        buf = np.empty((k, ln, e), dtype=values.dtype)
+        _take_rows(values, flat_idx, buf.reshape(k * ln, e))
+    else:
+        buf = np.empty((k, ln + 1, e), dtype=values.dtype)
+        buf[:, 0] = initial[sel]
+        gathered = np.empty((k * ln, e), dtype=values.dtype)
+        _take_rows(values, flat_idx, gathered)
+        buf[:, 1:] = gathered.reshape(k, ln, e)
+    out[sel] = buf.sum(axis=1)
+
+
 def _bucketed_fold(
     values: np.ndarray,
     rowmap: np.ndarray,
     starts: np.ndarray,
     lengths: np.ndarray,
     initial: np.ndarray | None = None,
+    pool=None,
 ) -> np.ndarray:
     """Left-fold each segment of ``values[rowmap]``; returns ``(U, E)``.
 
@@ -110,19 +257,28 @@ def _bucketed_fold(
     sum -- the sequential fold ``np.add.at`` performs, batched.  When
     ``initial`` is given (one row per segment) the fold starts from it,
     exactly like an in-place ``W[i] += d`` scatter.
+
+    Large folds run their length buckets on the worker pool in balanced
+    payload chunks (:func:`_fold_chunks`): the index bookkeeping stays
+    on the calling thread, workers execute only GIL-releasing gathers
+    and sums over disjoint output rows, and every segment is folded
+    exactly as in the sequential loop -- so the parallel result is
+    bitwise the sequential one.
     """
-    e = values.shape[1]
-    out = np.empty((starts.shape[0], e), dtype=values.dtype)
-    for ln in np.unique(lengths):
-        sel = np.flatnonzero(lengths == ln)
-        gpos = starts[sel][:, None] + np.arange(ln)
-        if initial is None:
-            out[sel] = values[rowmap[gpos]].sum(axis=1)
-        else:
-            buf = np.empty((sel.shape[0], int(ln) + 1, e), dtype=values.dtype)
-            buf[:, 0] = initial[sel]
-            buf[:, 1:] = values[rowmap[gpos]]
-            out[sel] = buf.sum(axis=1)
+    u = starts.shape[0]
+    out = np.empty((u, values.shape[1]), dtype=values.dtype)
+    pool = resolve_pool(pool)
+    if shardable(pool, u, int(lengths.sum()) * values.shape[1]):
+        chunks = _fold_chunks(lengths, pool.effective_workers)
+        if chunks is not None:
+            pool.map(
+                lambda chunk: _fold_one_chunk(
+                    values, rowmap, starts, initial, out, chunk[0], chunk[1]
+                ),
+                chunks,
+            )
+            return out
+    _fold_range(values, rowmap, starts, lengths, initial, out, 0, u)
     return out
 
 
@@ -130,14 +286,18 @@ def _bucketed_fold(
 
 
 def segment_sum_ragged(
-    rows: np.ndarray, offsets: np.ndarray, out: np.ndarray | None = None
+    rows: np.ndarray,
+    offsets: np.ndarray,
+    out: np.ndarray | None = None,
+    pool=None,
 ) -> np.ndarray:
     """Sum already-contiguous segments ``rows[offsets[n]:offsets[n+1]]``.
 
     The pooled forward pass (Alg. 1): bags are bucketed by length so
     ragged lookups cost one gather+sum per distinct length instead of
-    one scatter per row.  Bit-identical to
-    :func:`segment_sum_reference`; empty bags yield zero rows.
+    one scatter per row.  Large batches shard their bags over the worker
+    pool (disjoint output rows, identical per-bag folds).  Bit-identical
+    to :func:`segment_sum_reference`; empty bags yield zero rows.
     """
     offsets = np.asarray(offsets, dtype=np.int64)
     n = offsets.shape[0] - 1
@@ -151,17 +311,23 @@ def segment_sum_ragged(
     if e == 1:  # contiguous reduction axis: pairwise summation differs
         return segment_sum_reference(rows, offsets, out=out)
     lengths = np.diff(offsets)
+    starts = offsets[:-1]
+    resolved = resolve_pool(pool)
+    if shardable(resolved, n, rows.shape[0] * e):
+        chunks = _fold_chunks(lengths, resolved.effective_workers)
+        if chunks is not None:
+            resolved.map(
+                lambda chunk: _fold_one_chunk(
+                    rows, None, starts, None, out, chunk[0], chunk[1]
+                ),
+                chunks,
+            )
+            return out
     if lengths.min() == lengths.max():
         # Equal-length bags are one reshape away from a single sum.
         out[...] = rows.reshape(n, int(lengths[0]), e).sum(axis=1, dtype=np.float32)
         return out
-    starts = offsets[:-1]
-    for ln in np.unique(lengths):
-        if ln == 0:
-            continue
-        sel = np.flatnonzero(lengths == ln)
-        gpos = starts[sel][:, None] + np.arange(ln)
-        out[sel] = rows[gpos].sum(axis=1, dtype=np.float32)
+    _fold_range(rows, None, starts, lengths, None, out, 0, n)
     return out
 
 

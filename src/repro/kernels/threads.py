@@ -2,9 +2,12 @@
 
 Both the race-free embedding update and the blocked MLP assign work to
 threads with closed-form static ranges: thread ``t`` of ``T`` owns items
-``[floor(W*t/T), floor(W*(t+1)/T))``.  The simulator executes sequentially
-but uses these exact ranges so load-balance statistics (and hence the cost
-model's imbalance penalties) match what real threads would see.
+``[floor(W*t/T), floor(W*(t+1)/T))``.  These exact ranges serve two
+masters: the cost model reads their load-balance statistics (imbalance
+penalties match what real threads would see), and the worker pool of
+:mod:`repro.exec` *executes* them -- each pool worker owns one
+contiguous range, so sharded kernels write disjoint output rows and
+stay bitwise equal to their sequential formulations.
 """
 
 from __future__ import annotations

@@ -7,8 +7,9 @@ matching the paper's "occupy the node first before going multiple
 nodes").
 
 Execution is lockstep: the orchestrator runs each rank's compute phase
-sequentially, charging virtual time per rank, and issues collectives
-*collectively* (one call covering all ranks).  Collectives return a
+(in rank order, or concurrently on the :mod:`repro.exec` worker pool --
+virtual time is charged per rank and is identical either way) and
+issues collectives *collectively* (one call covering all ranks).  Collectives return a
 :class:`CollectiveHandle`; data is moved immediately (deterministic
 lockstep) but the *time* is only paid at :meth:`CollectiveHandle.wait`,
 which is where overlap either hides the cost or exposes it -- exactly the

@@ -29,6 +29,16 @@ the summed allreduce gradients, the concatenated embedding-output
 gradients and the sparse updates all equal the single-process DLRM on the
 same global batch up to FP32 summation order -- and the embedding updates
 are bit-exact.
+
+Execution is *really* parallel when the process-wide worker pool
+(:mod:`repro.exec`) is wider than one thread: every per-rank compute
+phase above (embedding forward, MLP forward/backward, sparse + dense
+updates) runs concurrently across ranks, synchronizing only at the
+functional collectives.  Rank state is disjoint (each rank owns its
+model, optimizer, virtual clock and profiler) and every cross-rank
+reduction keeps its fixed rank order, so the parallel run is bitwise
+the sequential one -- including the virtual-clock timing, which is a
+pure function of per-rank charges and collective issue order.
 """
 
 from __future__ import annotations
@@ -39,11 +49,13 @@ import numpy as np
 
 from repro.comm.ddp import DistributedDataParallelReducer
 from repro.comm.strategies import make_exchange
+from repro.exec.pool import WorkerPool, get_pool
 from repro.parallel.placement import make_placement, validate_placement
 from repro.core.batch import Batch
 from repro.core.config import DLRMConfig
 from repro.core.model import DLRM
 from repro.core.optim import SGD
+from repro.core.update import uses_fused_dispatch
 from repro.hw.cache import index_stats
 from repro.hw.costmodel import CostModel, GemmShape
 from repro.parallel.cluster import SimCluster
@@ -87,6 +99,7 @@ class DistributedDLRM:
         loader_mode: str = "none",
         gemm_impl: str = "this_work",
         placement: str | list[int] = "round_robin",
+        pool: WorkerPool | None = None,
     ):
         r = cluster.n_ranks
         if cfg.num_tables < r:
@@ -119,6 +132,9 @@ class DistributedDLRM:
         self.loader_mode = loader_mode
         self.gemm_impl = gemm_impl
         self.optimizers: list[SGD] | None = None
+        #: Worker pool for per-rank phase execution (None = the
+        #: process-wide pool, resolved at call time).
+        self.pool = pool
 
     def attach_optimizers(self, factory: Callable[[], SGD]) -> None:
         """One optimizer per rank (dense state must be rank-local)."""
@@ -146,6 +162,14 @@ class DistributedDLRM:
             raise RuntimeError("call attach_optimizers() before train_step()")
         return self.optimizers[rank].strategy.cost_key
 
+    def _map_ranks(self, fn: Callable[[int], object]) -> list:
+        """Run ``fn(rank)`` for every rank; concurrently when the pool is
+        wide, in rank order otherwise.  Results come back in rank order
+        either way.  Rank tasks may only touch rank-local state (model,
+        optimizer, clock, profiler) plus per-rank collective waits."""
+        pool = self.pool if self.pool is not None else get_pool()
+        return pool.map(fn, list(self.cluster.ranks))
+
     # -- the iteration ------------------------------------------------------------
 
     def train_step(self, global_batch: Batch) -> float:
@@ -165,9 +189,11 @@ class DistributedDLRM:
         cluster.charge_all(cm.calib.iteration_overhead_s, "compute.framework")
         self._charge_loader(gn)
 
-        # 2. Embedding forward: owned tables, full global batch.
-        emb_global: list[dict[int, np.ndarray]] = []
-        for r, model in enumerate(self.models):
+        # 2. Embedding forward: owned tables, full global batch.  Every
+        # per-rank phase below runs through _map_ranks: concurrent on a
+        # wide pool, plain rank order otherwise -- same bits either way.
+        def _embedding_fwd(r: int) -> dict[int, np.ndarray]:
+            model = self.models[r]
             out = model.embedding_forward(global_batch)
             lookups = sum(len(global_batch.indices[t]) for t in model.table_ids)
             t = cm.embedding_forward_time(
@@ -175,20 +201,28 @@ class DistributedDLRM:
                 num_tables=len(model.table_ids), cores=cores,
             )
             cluster.charge(r, t, "compute.embedding.fwd")
-            emb_global.append(out)
+            return out
 
-        # 3-5. Issue exchange; Bottom MLP forward under it; wait.
+        emb_global: list[dict[int, np.ndarray]] = self._map_ranks(_embedding_fwd)
+
+        # 3-6. Issue exchange; then one fused rank task runs Bottom MLP
+        # forward under it, waits, and carries straight through the Top
+        # MLP forward, loss and Top/interaction backward -- there is no
+        # main-thread work between those phases, so fusing them drops
+        # three synchronization barriers without moving a single charge
+        # or wait in any rank's virtual-time sequence.
         emb_slices, ex_fwd = self.exchange.forward(cluster, emb_global, self.owners)
         ln = gn // r_count
-        x_bottom: list[np.ndarray] = []
-        for r, model in enumerate(self.models):
-            x_bottom.append(model.bottom_forward(shards[r]))
+
+        def _fwd_loss_top_bwd(
+            r: int,
+        ) -> tuple[float, np.ndarray, dict[int, np.ndarray]]:
+            model = self.models[r]
+            x_bottom = model.bottom_forward(shards[r])
             t = mlp_forward_time(cm, cfg.bottom_layer_shapes(), ln, impl, cores)
             cluster.charge(r, t, "compute.mlp.bottom.fwd")
-        logits: list[np.ndarray] = []
-        for r, model in enumerate(self.models):
             ex_fwd.wait(r)
-            logits.append(model.top_forward(x_bottom[r], emb_slices[r]))
+            logits = model.top_forward(x_bottom, emb_slices[r])
             cluster.charge(
                 r,
                 cm.interaction_time(ln, cfg.num_vectors, cfg.embedding_dim, cores),
@@ -199,23 +233,9 @@ class DistributedDLRM:
                 mlp_forward_time(cm, cfg.top_layer_shapes(), ln, impl, cores),
                 "compute.mlp.top.fwd",
             )
-
-        # Loss, normalised by the *global* minibatch on every rank.
-        local_losses = []
-        for r, model in enumerate(self.models):
-            local_losses.append(
-                model.loss_fn.forward(logits[r], shards[r].labels, normalizer=gn)
-            )
+            loss = model.loss_fn.forward(logits, shards[r].labels, normalizer=gn)
             cluster.charge(r, cm.elementwise_time(ln * 16, cores), "compute.loss")
-        global_loss = float(sum(local_losses))
-
-        # 6. Top MLP + interaction backward.
-        ddense: list[np.ndarray] = []
-        dembs: list[dict[int, np.ndarray]] = []
-        for r, model in enumerate(self.models):
             dd, de = model.top_backward(model.loss_fn.backward())
-            ddense.append(dd)
-            dembs.append({t: de[t] for t in range(cfg.num_tables)})
             cluster.charge(
                 r,
                 mlp_backward_time(cm, cfg.top_layer_shapes(), ln, impl, cores),
@@ -226,6 +246,13 @@ class DistributedDLRM:
                 cm.interaction_time(ln, cfg.num_vectors, cfg.embedding_dim, cores),
                 "compute.interaction.bwd",
             )
+            return loss, dd, {t: de[t] for t in range(cfg.num_tables)}
+
+        fwd_bwd = self._map_ranks(_fwd_loss_top_bwd)
+        # The cross-rank loss sum stays a fixed-rank-order fold here.
+        global_loss = float(sum(loss for loss, _, _ in fwd_bwd))
+        ddense: list[np.ndarray] = [dd for _, dd, _ in fwd_bwd]
+        dembs: list[dict[int, np.ndarray]] = [de for _, _, de in fwd_bwd]
 
         # 7. Allreduce the Top MLP gradients (overlaps remaining backward).
         top_grads = [[p.grad for p in m.top.parameters()] for m in self.models]
@@ -235,23 +262,39 @@ class DistributedDLRM:
         grads_to_owner, ex_bwd = self.exchange.backward(cluster, dembs, self.owners)
 
         # 9-10. Bottom MLP backward, then its allreduce.
-        for r, model in enumerate(self.models):
-            model.bottom_backward(ddense[r])
+        def _bottom_bwd(r: int) -> None:
+            self.models[r].bottom_backward(ddense[r])
             cluster.charge(
                 r,
                 mlp_backward_time(cm, cfg.bottom_layer_shapes(), ln, impl, cores),
                 "compute.mlp.bottom.bwd",
             )
+
+        self._map_ranks(_bottom_bwd)
         bottom_grads = [[p.grad for p in m.bottom.parameters()] for m in self.models]
         ar_bottom = self.reducer.allreduce_grads(bottom_grads)
 
-        # 11. Wait the backward exchange; Alg. 2 backward + sparse update.
-        for r, model in enumerate(self.models):
+        # 11-12. One fused rank task: wait the backward exchange, run the
+        # Alg. 2 backward + sparse update, then wait the allreduces and
+        # take the dense SGD step (summed grads, identical on every rank
+        # because the loss was normalised by GN).  Both allreduces were
+        # issued above, so no barrier is needed between 11 and 12.
+        def _updates(r: int) -> None:
+            model = self.models[r]
             ex_bwd.wait(r)
             opt = self.optimizers[r]
+            strategy = opt.strategy
+            # Same dispatch gate as DLRM.train_step (one shared
+            # predicate): with the fused strategy the bag-level exchange
+            # gradients feed each table update directly -- Alg. 2's
+            # row-per-lookup gradient is never materialised.  Charges
+            # are identical either way; so are the table bits (the
+            # fused kernel's pinned contract).
+            fused = uses_fused_dispatch(opt)
             strategy_key = self._update_strategy_key(r)
             for t in model.table_ids:
-                model.embedding_backward(grads_to_owner[r][t], t, global_batch)
+                if not fused:
+                    model.embedding_backward(grads_to_owner[r][t], t, global_batch)
                 lookups = len(global_batch.indices[t])
                 cluster.charge(
                     r,
@@ -266,19 +309,24 @@ class DistributedDLRM:
                     cm.embedding_update_time(strategy_key, stats, self.row_bytes, cores),
                     "update.sparse",
                 )
+                if fused:
+                    strategy.apply_fused(
+                        model.tables[t],
+                        grads_to_owner[r][t],
+                        global_batch.indices[t],
+                        global_batch.offsets[t],
+                        opt.lr,
+                    )
             for t, grad in model.sparse_grads.items():
                 opt.step_sparse(model.tables[t], grad)
             model.sparse_grads.clear()
-
-        # 12. Wait allreduces; dense SGD step (summed grads, identical
-        # on every rank because the loss was normalised by GN).
-        for r, model in enumerate(self.models):
             ar_top.wait(r)
             ar_bottom.wait(r)
-            opt = self.optimizers[r]
             dense_bytes = sum(p.nbytes for p in model.parameters()) * 3
             opt.step_dense(model.parameters())
             cluster.charge(r, cm.elementwise_time(dense_bytes, cores), "update.dense")
+
+        self._map_ranks(_updates)
         return global_loss
 
     # -- checkpointing --------------------------------------------------------------
@@ -340,12 +388,16 @@ class DistributedDLRM:
         cluster = self.cluster
         r_count = cluster.n_ranks
         shards = global_batch.shard(r_count)
-        emb_global = [m.embedding_forward(global_batch) for m in self.models]
+        emb_global = self._map_ranks(
+            lambda r: self.models[r].embedding_forward(global_batch)
+        )
         emb_slices, handle = self.exchange.forward(cluster, emb_global, self.owners)
         handle.wait_all()
-        outs = []
-        for r, model in enumerate(self.models):
+
+        def _rank_proba(r: int) -> np.ndarray:
+            model = self.models[r]
             x = model.bottom_forward(shards[r])
             logits = model.top_forward(x, emb_slices[r])
-            outs.append(1.0 / (1.0 + np.exp(-logits.reshape(-1))))
-        return np.concatenate(outs)
+            return 1.0 / (1.0 + np.exp(-logits.reshape(-1)))
+
+        return np.concatenate(self._map_ranks(_rank_proba))

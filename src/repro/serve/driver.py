@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.core.config import DLRMConfig, get_config
 from repro.data.synthetic import bounded_zipf
+from repro.exec.pool import get_pool
+from repro.exec.prefetch import PrefetchMap
 from repro.parallel.cluster import SimCluster
 from repro.serve.batcher import MicroBatch, MicroBatcher, Request, StreamConfig, poisson_stream
 from repro.serve.replica import ReplicaSet, ServingResult
@@ -133,7 +135,18 @@ def run_serving(
         cache_policy=params.cache_policy,
         router=params.router,
     )
-    result = replicas.serve(batches, workload.batch_indices)
+    # Sort into dispatch order here (ReplicaSet.serve's own stable sort
+    # is then the identity), so the prefetcher's lookahead window and
+    # the replica loop consume the micro-batches in the same order.
+    ordered = sorted(batches, key=lambda b: b.dispatch_time)
+    indices_for = workload.batch_indices
+    if get_pool().effective_workers > 1:
+        # Synthesize the next micro-batch's index vectors on the pool
+        # while the current one is served.  Synthesis is a pure function
+        # of the micro-batch (and requests never repeat across batches),
+        # so the prefetched vectors are bitwise the direct-call ones.
+        indices_for = PrefetchMap(workload.batch_indices, ordered, depth=2)
+    result = replicas.serve(ordered, indices_for)
     row: dict[str, object] = {
         "label": params.label,
         "policy": params.policy,

@@ -32,6 +32,7 @@ from repro.core.metrics import accuracy, log_loss, roc_auc
 from repro.core.mlp import sigmoid
 from repro.core.model import DLRM
 from repro.core.optim import SGD
+from repro.exec.prefetch import PrefetchLoader
 from repro.parallel.cluster import SimCluster
 from repro.parallel.hybrid import DistributedDLRM
 from repro.train.callbacks import (
@@ -104,6 +105,12 @@ class Trainer:
         self.should_stop = False
         self.last_eval: dict[str, float] | None = None
         self._eval_batch: Batch | None = None
+        #: Double-buffered batch source: synthesizes batch ``step+1`` on
+        #: the worker pool while ``step`` trains.  Batches are pure
+        #: functions of (seed, batch_index), so prefetched bits equal
+        #: direct-call bits and checkpoint/resume stays bit-identical.
+        #: With a 1-wide pool this is a plain synchronous call.
+        self._prefetch = PrefetchLoader(dataset, self.batch_size)
 
     # -- construction --------------------------------------------------------
 
@@ -155,7 +162,7 @@ class Trainer:
         end = self.step + steps
         while self.step < end and not self.should_stop:
             step = self.step
-            batch = self.dataset.batch(self.batch_size, step)
+            batch = self._prefetch.batch(step)
             self.callbacks.on_step_start(self, step)
             loss = self.train_step(batch)
             self.losses.append(loss)

@@ -120,6 +120,25 @@ class TestBackward:
         )
         assert grad.nnz == 1
 
+    def test_bag_count_mismatch_raises(self, rng):
+        """The take-gather expansion must fail as loudly as np.repeat did
+        when grad_out rows disagree with the offsets' bag count (a
+        clip-mode gather would silently reuse the last row)."""
+        table = EmbeddingBag(20, 4, rng=rng)
+        with pytest.raises(ValueError, match="bags"):
+            table.backward(
+                rng.standard_normal((1, 4)).astype(np.float32),
+                np.array([3, 7, 7, 1]),
+                np.array([0, 2, 4]),
+            )
+
+    def test_gather_out_of_range_raises(self, rng):
+        """Public gather keeps fancy indexing's loud OOR failure despite
+        the clip-mode take underneath."""
+        table = EmbeddingBag(20, 4, rng=rng)
+        with pytest.raises(IndexError):
+            table.gather(np.array([19, 20]))
+
     def test_grad_then_fwd_consistency(self, rng):
         """d(sum(Y))/dW scattered back equals ones in every looked-up row."""
         table = EmbeddingBag(10, 3, rng=rng)

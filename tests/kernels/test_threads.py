@@ -31,6 +31,21 @@ class TestStaticPartition:
         with pytest.raises(ValueError):
             static_partition(4, 0)
 
+    def test_no_work_yields_all_empty_ranges(self):
+        assert static_partition(0, 5) == [(0, 0)] * 5
+
+    def test_fewer_items_than_threads(self):
+        # 3 items over 8 threads: each item owned exactly once, the
+        # other ranges empty -- what run_sharded relies on to skip them.
+        ranges = static_partition(3, 8)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sum(sizes) == 3
+        assert max(sizes) == 1
+        assert sorted(sizes) == [0] * 5 + [1] * 3
+
+    def test_single_thread_owns_everything(self):
+        assert static_partition(17, 1) == [(0, 17)]
+
 
 class TestRowRange:
     def test_matches_partition(self):
@@ -54,3 +69,38 @@ class TestPartitionBalance:
     def test_empty_and_zero(self):
         assert partition_balance(np.array([])) == 1.0
         assert partition_balance(np.zeros(4)) == 1.0
+
+    @given(
+        st.lists(st.integers(0, 10_000), min_size=1, max_size=64),
+        st.integers(0, 999),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounds(self, counts, _seed):
+        """1 <= balance <= T whenever any work exists (max <= total = T*mean)."""
+        arr = np.array(counts, dtype=np.int64)
+        ratio = partition_balance(arr)
+        assert ratio >= 1.0
+        assert ratio <= len(counts) + 1e-9
+
+    def test_static_partition_balance_is_tight(self):
+        """Uniform items under the closed-form ranges stay within one
+        item of perfect balance, so the ratio tends to 1 as work grows."""
+        for work, threads in [(1000, 7), (28, 28), (997, 16)]:
+            sizes = np.array([hi - lo for lo, hi in static_partition(work, threads)])
+            assert partition_balance(sizes) <= (sizes.mean() + 1) / sizes.mean()
+
+
+class TestBucketByRowRanges:
+    def test_matches_mask_scan_counts(self, rng):
+        from repro.kernels.threads import row_range_for_thread
+        from repro.kernels.segment import bucket_by_row_ranges
+
+        rows, threads = 101, 7
+        indices = rng.integers(0, rows, size=500, dtype=np.int64)
+        counts = bucket_by_row_ranges(indices, rows, threads)
+        want = []
+        for tid in range(threads):
+            lo, hi = row_range_for_thread(rows, tid, threads)
+            want.append(int(((indices >= lo) & (indices < hi)).sum()))
+        assert counts.tolist() == want
+        assert counts.sum() == 500
