@@ -1,17 +1,21 @@
 #!/usr/bin/env python
-"""End-to-end training throughput under the repro.exec worker pool.
+"""End-to-end training throughput across the repro.exec backends.
 
 Measures steps/s of the *integrated* training loop -- prefetching loader,
-parallel ranks, sharded kernels, callbacks, the works -- for 1/2/4/8 pool
+parallel ranks, sharded kernels, callbacks, the works -- for 1/2/4/8
 workers, FP32 and Split-BF16, single-socket and distributed (4 ranks).
-The sequential baseline is ``workers=1``: bit-for-bit the pre-pool code
-path (inline execution, synchronous batch synthesis).
+Distributed scenarios sweep both execution substrates:
 
-Every parallel scenario is also checked *bitwise* against its sequential
-twin (final consolidated model state after the timed steps); like
-``bench_hotpath.py``, the run fails only if bit-identity breaks --
-speedups are informational and bounded above by the machine's core
-count (``cpu_count`` is recorded in the JSON for that reason).
+* ``thread``  -- the process-wide GIL-sharing worker pool,
+* ``process`` -- shared-memory SPMD worker processes (repro.exec.mp).
+
+The sequential baseline is ``thread`` at ``workers=1``: bit-for-bit the
+pre-pool code path (inline execution, synchronous batch synthesis).
+Every other cell is checked *bitwise* against that baseline (final
+consolidated model state after the timed steps); the run fails only if
+bit-identity breaks.  Speedups are informational here -- the CI perf
+gate (``benchmarks/compare_bench.py``) diffs this file's JSON against
+the committed baseline and fails on regressions at matching cpu_count.
 
 Results are written to ``BENCH_train_e2e.json`` at the repo root.
 
@@ -29,6 +33,7 @@ for _var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
     os.environ.setdefault(_var, "1")
 
 import argparse
+import functools
 import json
 import time
 from pathlib import Path
@@ -48,6 +53,7 @@ from repro.train import DistributedTrainer, Trainer
 REPO_ROOT = Path(__file__).resolve().parent.parent
 WORKER_SWEEP = (1, 2, 4, 8)
 RANKS = 4
+SCHEMA = 2
 
 
 def bench_config(quick: bool) -> DLRMConfig:
@@ -90,20 +96,34 @@ def bench_config(quick: bool) -> DLRMConfig:
 def make_optimizer(storage: str):
     # The paper's best single-socket update (fused backward+update); the
     # same strategy runs at every worker count, so speedups isolate the
-    # pool.
+    # execution backend.
     strategy = FusedBackwardUpdate()
     if storage == "split_bf16":
         return SplitSGD(lr=0.05, strategy=strategy)
     return SGD(lr=0.05, strategy=strategy)
 
 
-def build_trainer(cfg: DLRMConfig, storage: str, distributed: bool) -> Trainer:
+def build_trainer(
+    cfg: DLRMConfig,
+    storage: str,
+    distributed: bool,
+    backend: str = "thread",
+    workers: int | None = None,
+) -> Trainer:
     dataset = RandomRecDataset(cfg, seed=7)
     if distributed:
         cluster = SimCluster(RANKS, platform="cluster")
         dist = DistributedDLRM(cfg, cluster, seed=1, storage=storage)
-        dist.attach_optimizers(lambda: make_optimizer(storage))
-        return DistributedTrainer(dist, dataset, batch_size=cfg.global_minibatch)
+        # functools.partial of a module-level function: picklable under
+        # the process backend's spawn start method.
+        dist.attach_optimizers(functools.partial(make_optimizer, storage))
+        return DistributedTrainer(
+            dist,
+            dataset,
+            batch_size=cfg.global_minibatch,
+            backend=backend,
+            workers=workers if backend == "process" else None,
+        )
     model = DLRM(cfg, seed=1, storage=storage)
     opt = make_optimizer(storage)
     opt.register(model.parameters())
@@ -111,15 +131,31 @@ def build_trainer(cfg: DLRMConfig, storage: str, distributed: bool) -> Trainer:
 
 
 def final_state(trainer: Trainer) -> dict[str, np.ndarray]:
-    if isinstance(trainer, DistributedTrainer):
-        return trainer.dist.state_dict()
-    return trainer.model.state_dict()
+    return trainer.model_state_dict()
 
 
 def run_scenario(
-    cfg: DLRMConfig, storage: str, distributed: bool, workers: int, steps: int, warmup: int
-) -> tuple[float, dict[str, np.ndarray]]:
-    """(steps/s over the timed window, final model state)."""
+    cfg: DLRMConfig,
+    storage: str,
+    distributed: bool,
+    backend: str,
+    workers: int,
+    steps: int,
+    warmup: int,
+) -> tuple[float, dict[str, np.ndarray], int]:
+    """(steps/s over the timed window, final model state, effective workers)."""
+    if backend == "process":
+        trainer = build_trainer(cfg, storage, distributed, backend, workers)
+        try:
+            trainer.fit(warmup)
+            t0 = time.perf_counter()
+            trainer.fit(steps)
+            elapsed = time.perf_counter() - t0
+            state = final_state(trainer)
+            effective = trainer._executor.n_workers
+        finally:
+            trainer.close()
+        return steps / elapsed, state, effective
     with pooled(workers):
         trainer = build_trainer(cfg, storage, distributed)
         trainer.fit(warmup)
@@ -127,7 +163,7 @@ def run_scenario(
         trainer.fit(steps)
         elapsed = time.perf_counter() - t0
         state = final_state(trainer)
-    return steps / elapsed, state
+    return steps / elapsed, state, min(workers, os.cpu_count() or workers)
 
 
 def main() -> int:
@@ -157,42 +193,58 @@ def main() -> int:
     for distributed in (False, True):
         mode = "distributed" if distributed else "single"
         batch = cfg.global_minibatch if distributed else cfg.minibatch
+        backends = ("thread", "process") if distributed else ("thread",)
         for storage in ("fp32", "split_bf16"):
             name = f"{mode}_{storage}"
-            rows: dict[str, dict] = {}
+            cells: dict[str, dict[str, dict]] = {b: {} for b in backends}
             base_rate, base_state = None, None
-            for workers in WORKER_SWEEP:
-                rate, state = run_scenario(
-                    cfg, storage, distributed, workers, steps, args.warmup
-                )
-                if base_rate is None:
-                    base_rate, base_state = rate, state
-                identical = all(
-                    np.array_equal(state[k], base_state[k]) for k in base_state
-                ) and set(state) == set(base_state)
-                if not identical:
-                    failures.append(f"{name}@workers={workers}")
-                rows[str(workers)] = {
-                    "steps_per_s": round(rate, 3),
-                    "rows_per_s": round(rate * batch, 1),
-                    "speedup": round(rate / base_rate, 2),
-                    "bit_identical": bool(identical),
-                }
-                print(
-                    f"{name:<24} workers={workers}  {rate:7.3f} steps/s  "
-                    f"{rate * batch:10.1f} rows/s  {rate / base_rate:5.2f}x  "
-                    f"[{'bitwise' if identical else 'MISMATCH'}]"
-                )
-            results[name] = {
+            for backend in backends:
+                for workers in WORKER_SWEEP:
+                    rate, state, effective = run_scenario(
+                        cfg, storage, distributed, backend, workers, steps, args.warmup
+                    )
+                    if base_rate is None:
+                        # thread/workers=1: the sequential baseline.
+                        base_rate, base_state = rate, state
+                    identical = set(state) == set(base_state) and all(
+                        np.array_equal(state[k], base_state[k]) for k in base_state
+                    )
+                    if not identical:
+                        failures.append(f"{name}@{backend}/workers={workers}")
+                    cells[backend][str(workers)] = {
+                        "steps_per_s": round(rate, 3),
+                        "rows_per_s": round(rate * batch, 1),
+                        "speedup": round(rate / base_rate, 2),
+                        "effective_workers": effective,
+                        "bit_identical": bool(identical),
+                    }
+                    print(
+                        f"{name:<22} {backend:<8} workers={workers}  "
+                        f"{rate:7.3f} steps/s  {rate * batch:10.1f} rows/s  "
+                        f"{rate / base_rate:5.2f}x  "
+                        f"[{'bitwise' if identical else 'MISMATCH'}]"
+                    )
+            entry = {
                 "mode": mode,
                 "storage": storage,
                 "batch": batch,
                 "ranks": RANKS if distributed else 1,
-                "workers": rows,
+                "backends": cells,
             }
+            if distributed:
+                entry["process_vs_thread"] = {
+                    str(w): round(
+                        cells["process"][str(w)]["steps_per_s"]
+                        / cells["thread"][str(w)]["steps_per_s"],
+                        3,
+                    )
+                    for w in WORKER_SWEEP
+                }
+            results[name] = entry
 
     payload = {
         "bench": "train_e2e",
+        "schema": SCHEMA,
         "quick": bool(args.quick),
         "steps": steps,
         "warmup": args.warmup,

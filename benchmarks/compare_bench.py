@@ -1,0 +1,247 @@
+#!/usr/bin/env python
+"""Perf-trajectory gate: diff fresh bench JSONs against committed baselines.
+
+CI regenerates ``BENCH_train_e2e.json`` / ``BENCH_hotpath.json`` on
+every run (``bench-smoke`` job) and hands this tool the fresh files plus
+the baselines committed at the repo root.  The gate **fails** on
+
+* any ``bit_identical: false`` cell in a fresh file -- the repo's
+  bit-exactness contract is broken, regardless of machine; and
+* a >30% ``steps_per_s`` regression in any train-e2e cell present in
+  both files, **when the fresh run's cpu_count matches the baseline's**
+  (throughput on a different core count is not comparable; the gate
+  notes the skip instead).
+
+Speedup deltas and the thread-vs-process comparison are always posted:
+a markdown summary is appended to ``$GITHUB_STEP_SUMMARY`` when set
+(the PR's job summary page) and printed to stdout either way.
+
+To ratchet the baseline after an intentional perf change, run the bench
+on a machine matching the committed ``cpu_count`` (or download the CI
+artifact from a green run) and commit the refreshed JSON.
+
+Run:
+    python benchmarks/compare_bench.py \
+        --train-baseline BENCH_train_e2e.json --train-fresh fresh_e2e.json \
+        --hotpath-baseline BENCH_hotpath.json --hotpath-fresh fresh_hot.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+MAX_REGRESSION = 0.30
+
+
+def _load(path: str | Path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _train_cells(payload: dict):
+    """Flatten a train-e2e payload to {(scenario, backend, workers): cell}.
+
+    Handles both the schema-2 ``backends`` layout and the schema-1
+    ``workers`` layout (pre-process-backend baselines)."""
+    cells: dict[tuple[str, str, str], dict] = {}
+    for scenario, entry in payload.get("results", {}).items():
+        if "backends" in entry:
+            for backend, rows in entry["backends"].items():
+                for workers, cell in rows.items():
+                    cells[(scenario, backend, workers)] = cell
+        else:  # schema 1: thread-only sweep
+            for workers, cell in entry.get("workers", {}).items():
+                cells[(scenario, "thread", workers)] = cell
+    return cells
+
+
+def check_bit_identity(payload: dict, bench: str) -> list[str]:
+    """Every cell of a fresh payload must be bitwise clean.
+
+    ``bit_identical: null`` means the bench makes no bit claim for that
+    cell (e.g. the blocked-GEMM fast path is allclose-by-design); only
+    an explicit ``false`` is a violation."""
+    failures = []
+    if bench == "train_e2e":
+        for (scenario, backend, workers), cell in _train_cells(payload).items():
+            if cell.get("bit_identical", True) is False:
+                failures.append(
+                    f"train_e2e: {scenario} {backend}/workers={workers} "
+                    "is not bit-identical to the sequential baseline"
+                )
+    else:
+        for name, cell in payload.get("results", {}).items():
+            if cell.get("bit_identical", True) is False:
+                failures.append(f"hotpath: {name} optimized kernel is not bit-identical")
+    return failures
+
+
+def check_train_regressions(
+    baseline: dict, fresh: dict, max_regression: float
+) -> tuple[list[str], list[str]]:
+    """(failures, notes) for steps/s regressions at matching cpu_count."""
+    notes: list[str] = []
+    if fresh.get("cpu_count") != baseline.get("cpu_count"):
+        notes.append(
+            f"steps/s gate skipped: fresh cpu_count={fresh.get('cpu_count')} != "
+            f"baseline cpu_count={baseline.get('cpu_count')} (throughput not comparable)"
+        )
+        return [], notes
+    if fresh.get("quick") != baseline.get("quick"):
+        notes.append(
+            "steps/s gate skipped: quick/full shapes differ between fresh and baseline"
+        )
+        return [], notes
+    failures = []
+    base_cells = _train_cells(baseline)
+    fresh_cells = _train_cells(fresh)
+    compared = 0
+    for key, base in base_cells.items():
+        cell = fresh_cells.get(key)
+        if cell is None:
+            continue
+        compared += 1
+        floor = base["steps_per_s"] * (1.0 - max_regression)
+        if cell["steps_per_s"] < floor:
+            scenario, backend, workers = key
+            failures.append(
+                f"train_e2e: {scenario} {backend}/workers={workers} regressed "
+                f"{base['steps_per_s']:.3f} -> {cell['steps_per_s']:.3f} steps/s "
+                f"(>{max_regression:.0%} below baseline)"
+            )
+    notes.append(
+        f"steps/s gate compared {compared} cells at cpu_count="
+        f"{fresh.get('cpu_count')} (floor: {1 - max_regression:.0%} of baseline)"
+    )
+    return failures, notes
+
+
+def check_hotpath_regressions(
+    baseline: dict, fresh: dict, max_regression: float
+) -> tuple[list[str], list[str]]:
+    """Hotpath gate compares *speedup ratios* (reference vs optimized on
+    the same machine), which travel across runners -- but only between
+    runs of the same shapes (matching ``quick``)."""
+    notes: list[str] = []
+    if fresh.get("quick") != baseline.get("quick"):
+        notes.append(
+            "hotpath speedup gate skipped: quick/full shapes differ "
+            "between fresh and baseline"
+        )
+        return [], notes
+    failures = []
+    for name, base in baseline.get("results", {}).items():
+        cell = fresh.get("results", {}).get(name)
+        if cell is None or "speedup" not in base:
+            continue
+        floor = base["speedup"] * (1.0 - max_regression)
+        if cell.get("speedup", 0.0) < floor:
+            failures.append(
+                f"hotpath: {name} speedup regressed {base['speedup']:.2f}x -> "
+                f"{cell.get('speedup'):.2f}x (>{max_regression:.0%} below baseline)"
+            )
+    return failures, notes
+
+
+def train_summary_md(baseline: dict, fresh: dict) -> str:
+    """Markdown: thread-vs-process per scenario + deltas vs baseline."""
+    lines = [
+        "## Train e2e perf trajectory",
+        "",
+        f"fresh: cpu_count={fresh.get('cpu_count')}, steps={fresh.get('steps')}, "
+        f"numpy {fresh.get('numpy')}; baseline: cpu_count={baseline.get('cpu_count')}",
+        "",
+    ]
+    base_cells = _train_cells(baseline)
+    for scenario, entry in fresh.get("results", {}).items():
+        backends = entry.get("backends", {})
+        if not backends:
+            continue
+        lines.append(f"### {scenario}")
+        lines.append("")
+        lines.append(
+            "| workers | thread steps/s | process steps/s | process/thread | vs baseline (thread) |"
+        )
+        lines.append("|---|---|---|---|---|")
+        thread = backends.get("thread", {})
+        process = backends.get("process", {})
+        for workers in sorted(thread, key=int):
+            t = thread[workers]["steps_per_s"]
+            p = process.get(workers, {}).get("steps_per_s")
+            ratio = f"{p / t:.2f}x" if p else "--"
+            base = base_cells.get((scenario, "thread", workers))
+            delta = (
+                f"{(t / base['steps_per_s'] - 1) * 100:+.1f}%" if base else "new"
+            )
+            p_str = f"{p:.3f}" if p else "--"
+            lines.append(f"| {workers} | {t:.3f} | {p_str} | {ratio} | {delta} |")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--train-baseline", type=Path, default=None)
+    parser.add_argument("--train-fresh", type=Path, default=None)
+    parser.add_argument("--hotpath-baseline", type=Path, default=None)
+    parser.add_argument("--hotpath-fresh", type=Path, default=None)
+    parser.add_argument(
+        "--max-regression", type=float, default=MAX_REGRESSION,
+        help="allowed fractional drop before the gate fails (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    notes: list[str] = []
+    summary_parts: list[str] = []
+
+    if args.train_fresh is not None:
+        fresh = _load(args.train_fresh)
+        failures += check_bit_identity(fresh, "train_e2e")
+        if args.train_baseline is not None and args.train_baseline.exists():
+            baseline = _load(args.train_baseline)
+            f, n = check_train_regressions(baseline, fresh, args.max_regression)
+            failures += f
+            notes += n
+            summary_parts.append(train_summary_md(baseline, fresh))
+        else:
+            notes.append("no train-e2e baseline: regression gate skipped")
+            summary_parts.append(train_summary_md({}, fresh))
+
+    if args.hotpath_fresh is not None:
+        fresh_hot = _load(args.hotpath_fresh)
+        failures += check_bit_identity(fresh_hot, "hotpath")
+        if args.hotpath_baseline is not None and args.hotpath_baseline.exists():
+            base_hot = _load(args.hotpath_baseline)
+            f, n = check_hotpath_regressions(base_hot, fresh_hot, args.max_regression)
+            failures += f
+            notes += n
+
+    summary = "\n".join(summary_parts)
+    if notes:
+        summary += "\n**Notes**\n\n" + "\n".join(f"- {n}" for n in notes) + "\n"
+    if failures:
+        summary += (
+            "\n## :x: Perf gate failures\n\n"
+            + "\n".join(f"- {f}" for f in failures)
+            + "\n"
+        )
+    else:
+        summary += "\n:white_check_mark: perf gate passed\n"
+    print(summary)
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        with open(step_summary, "a") as fh:
+            fh.write(summary + "\n")
+    if failures:
+        print(f"\nPERF GATE FAILED ({len(failures)} finding(s))", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -125,9 +125,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     tr.add_argument("--spec", metavar="JSON", help="path to a RunSpec JSON file")
     tr.add_argument(
+        "--backend", choices=["thread", "process"], default=None,
+        help="execution substrate for distributed runs: 'thread' = the "
+        "process-wide worker pool, 'process' = shared-memory worker "
+        "processes (repro.exec.mp); default: the spec's "
+        "parallel.exec_backend",
+    )
+    tr.add_argument(
         "--workers", type=int, default=None, metavar="N",
-        help="worker threads for the process-wide pool (parallel ranks, "
-        "sharded kernels, batch prefetch); default: REPRO_WORKERS or 1",
+        help="worker threads (thread backend: the process-wide pool for "
+        "parallel ranks, sharded kernels, batch prefetch) or worker "
+        "processes (process backend); default: REPRO_WORKERS / one "
+        "process per rank",
     )
     tr.add_argument(
         "--resume", metavar="NPZ", help="resume from a checkpoint (spec embedded)"
@@ -206,12 +215,8 @@ def _dispatch(args: argparse.Namespace) -> str:
 
         if not args.spec and not args.resume:
             raise SystemExit("repro train: need --spec or --resume")
-        if args.workers is not None:
-            if args.workers < 1:
-                raise SystemExit("repro train: --workers must be >= 1")
-            from repro.exec import set_pool_workers
-
-            set_pool_workers(args.workers)
+        if args.workers is not None and args.workers < 1:
+            raise SystemExit("repro train: --workers must be >= 1")
         timer = StepTimer()
         if args.resume:
             from repro.train import load_checkpoint
@@ -219,31 +224,54 @@ def _dispatch(args: argparse.Namespace) -> str:
             _require_file(args.resume, "repro train --resume")
             ckpt = load_checkpoint(args.resume)
             spec = ckpt.require_spec()
-            cls = DistributedTrainer if spec.parallel.ranks > 1 else Trainer
-            trainer = cls.from_checkpoint(ckpt, callbacks=[timer])
         else:
             _require_file(args.spec, "repro train --spec")
             spec = RunSpec.load(args.spec)
-            trainer = make_trainer(spec, callbacks=[timer])
-        start = trainer.step
-        trainer.fit(args.steps)
-        metrics = trainer.evaluate()
-        steps_per_s = (
-            len(timer.times) / timer.total_s if timer.total_s > 0 else float("nan")
+            ckpt = None
+        backend = args.backend if args.backend is not None else spec.parallel.exec_backend
+        distributed = spec.parallel.ranks > 1
+        if backend == "process" and not distributed:
+            raise SystemExit(
+                "repro train: --backend process needs a distributed spec "
+                "(parallel.ranks > 1); single-process runs have no ranks "
+                "to place in workers"
+            )
+        if backend == "thread" and args.workers is not None:
+            from repro.exec import set_pool_workers
+
+            set_pool_workers(args.workers)
+        overrides = (
+            {"backend": args.backend, "workers": args.workers} if distributed else {}
         )
-        row = {
-            "run": spec.name,
-            "steps": trainer.step - start,
-            "global_step": trainer.step,
-            "final_loss": trainer.losses[-1] if trainer.losses else float("nan"),
-            "steps_per_s": steps_per_s,
-            "rows_per_s": steps_per_s * trainer.batch_size,
-            **metrics,
-        }
-        out = format_table([row], title=f"Training run '{spec.name}'")
-        if args.checkpoint:
-            trainer.save_checkpoint(args.checkpoint)
-            out += f"\n\ncheckpoint written to {args.checkpoint}"
+        if ckpt is not None:
+            cls = DistributedTrainer if distributed else Trainer
+            trainer = cls.from_checkpoint(ckpt, callbacks=[timer], **overrides)
+        elif distributed:
+            trainer = DistributedTrainer.from_spec(spec, callbacks=[timer], **overrides)
+        else:
+            trainer = make_trainer(spec, callbacks=[timer])
+        try:
+            start = trainer.step
+            trainer.fit(args.steps)
+            metrics = trainer.evaluate()
+            steps_per_s = (
+                len(timer.times) / timer.total_s if timer.total_s > 0 else float("nan")
+            )
+            row = {
+                "run": spec.name,
+                "steps": trainer.step - start,
+                "global_step": trainer.step,
+                "final_loss": trainer.losses[-1] if trainer.losses else float("nan"),
+                "steps_per_s": steps_per_s,
+                "rows_per_s": steps_per_s * trainer.batch_size,
+                **metrics,
+            }
+            out = format_table([row], title=f"Training run '{spec.name}'")
+            if args.checkpoint:
+                trainer.save_checkpoint(args.checkpoint)
+                out += f"\n\ncheckpoint written to {args.checkpoint}"
+        finally:
+            trainer.close()
         return out
     if name == "eval":
         from repro.core.metrics import accuracy, log_loss, roc_auc

@@ -15,7 +15,7 @@ the wait lands after enough compute, exposed otherwise.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -48,27 +48,47 @@ class DistributedDataParallelReducer:
 
     def allreduce_grads(
         self,
-        grads_per_rank: list[list[np.ndarray]],
+        grads_per_rank: "list[list[np.ndarray]] | Callable[[int], list[np.ndarray]]",
         op: str = "allreduce",
         blocking: bool | None = None,
+        pool=None,
     ) -> "CollectiveHandle":
         """Sum each rank's gradient list element-wise across ranks.
 
         The arrays are updated *in place* so layer parameters keep their
         views; timing-wise the result is only legal to consume after
         ``handle.wait(rank)``.
+
+        ``grads_per_rank`` is a list of per-rank gradient lists, or a
+        callable ``rank -> gradient list`` evaluated lazily *inside* the
+        per-rank pack/unpack tasks.  The lazy form is what the process
+        backend needs: only the worker that owns a rank ever touches its
+        gradients (a non-owner holds stale replicas), and the flattened
+        buffers -- not the per-layer lists -- are what cross the
+        shared-memory transport.
+
+        ``pool`` is the rank-phase pool (default: the process-wide
+        worker pool): pack and unpack are per-rank tasks, so under the
+        process backend each worker packs/unpacks only its own ranks and
+        the pool's gather shares the flat buffers.
         """
         cluster = self.cluster
-        if len(grads_per_rank) != cluster.n_ranks:
-            raise ValueError(
-                f"expected {cluster.n_ranks} gradient lists, got {len(grads_per_rank)}"
-            )
-        lengths = {len(g) for g in grads_per_rank}
-        if len(lengths) != 1:
-            raise ValueError("all ranks must reduce the same number of tensors")
-        from repro.exec.pool import get_pool
+        if callable(grads_per_rank):
+            grads_for = grads_per_rank
+        else:
+            if len(grads_per_rank) != cluster.n_ranks:
+                raise ValueError(
+                    f"expected {cluster.n_ranks} gradient lists, "
+                    f"got {len(grads_per_rank)}"
+                )
+            lengths = {len(g) for g in grads_per_rank}
+            if len(lengths) != 1:
+                raise ValueError("all ranks must reduce the same number of tensors")
+            grads_for = grads_per_rank.__getitem__
+        if pool is None:
+            from repro.exec.pool import get_pool
 
-        pool = get_pool()
+            pool = get_pool()
 
         # Pack: flatten each rank's list into one buffer (framework
         # cost).  Per-rank packs touch only rank-local state, so they
@@ -76,7 +96,7 @@ class DistributedDataParallelReducer:
         # charges, in any schedule.
         def _pack(r: int) -> np.ndarray:
             flat = np.concatenate(
-                [np.asarray(g, dtype=np.float32).ravel() for g in grads_per_rank[r]]
+                [np.asarray(g, dtype=np.float32).ravel() for g in grads_for(r)]
             )
             t = cluster.cost.copy_time(2.0 * flat.nbytes, cores=cluster.compute_cores)
             cluster.clocks[r].advance(t)
@@ -93,7 +113,7 @@ class DistributedDataParallelReducer:
         # writes only its own gradient arrays: concurrent-safe.
         def _unpack(r: int) -> None:
             offset = 0
-            for g in grads_per_rank[r]:
+            for g in grads_for(r):
                 n = g.size
                 g[...] = summed[r][offset : offset + n].reshape(g.shape)
                 offset += n

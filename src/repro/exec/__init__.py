@@ -1,4 +1,14 @@
-"""repro.exec: real thread-parallel execution for the reproduction.
+"""repro.exec: real parallel execution for the reproduction.
+
+Two substrates implement the same bit-exactness contract:
+
+* **thread backend** (:mod:`repro.exec.pool`) -- a process-wide
+  GIL-sharing :class:`WorkerPool`; cheap, zero-copy, limited by how much
+  time the kernels spend outside the GIL;
+* **process backend** (:mod:`repro.exec.mp`) -- SPMD worker processes
+  with shared-memory state and a fixed-rank-order collective transport;
+  true core-parallel Python, at the cost of spawn latency and one
+  memcpy per cross-rank tensor.
 
 Three layers share one process-wide :class:`WorkerPool`:
 
@@ -15,6 +25,7 @@ The pool defaults to 1 worker (pure sequential execution); opt in with
 ``set_pool_workers(n)``, the CLI's ``--workers n``, or ``REPRO_WORKERS``.
 """
 
+from repro.exec.mp import ProcessRankExecutor, in_worker_process
 from repro.exec.pool import (
     WorkerPool,
     get_pool,
@@ -23,9 +34,17 @@ from repro.exec.pool import (
 )
 from repro.exec.prefetch import PrefetchLoader, PrefetchMap
 
+#: Execution substrates selectable by DistributedTrainer(backend=...) --
+#: distinct from the *communication* backends of repro.comm.backend
+#: ("mpi"/"ccl"/"local"), which model collective timing.
+EXEC_BACKENDS = ("thread", "process")
+
 __all__ = [
+    "EXEC_BACKENDS",
+    "ProcessRankExecutor",
     "WorkerPool",
     "get_pool",
+    "in_worker_process",
     "pooled",
     "set_pool_workers",
     "PrefetchLoader",

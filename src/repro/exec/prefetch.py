@@ -16,6 +16,12 @@ its lookahead window and computes it directly.
 
 With a 1-wide pool both classes degenerate to plain synchronous calls
 (no futures, no buffering) -- the sequential baseline.
+
+The same determinism argument is what lets the process backend
+(:mod:`repro.exec.mp`) synthesize batches *per worker process* instead
+of shipping them: each rank worker owns a private ``PrefetchLoader``
+over the same dataset, so only the batch index crosses the parent
+pipe and the synthesized bits still equal the sequential run's.
 """
 
 from __future__ import annotations

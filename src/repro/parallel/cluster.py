@@ -32,7 +32,6 @@ import numpy as np
 
 from repro.comm.backend import BackendSpec, make_backend
 from repro.comm import collectives as fc
-from repro.comm.ring import ring_allreduce
 from repro.hw.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.hw.costmodel import CostModel
 from repro.hw.network import CollectiveCost, NetworkModel
@@ -43,12 +42,26 @@ from repro.perf.profiler import Profiler
 
 
 class CollectiveHandle:
-    """An in-flight collective; ``wait(rank)`` pays the exposed time."""
+    """An in-flight collective; ``wait(rank)`` pays the exposed time.
 
-    def __init__(self, cluster: "SimCluster", op: str, completion: dict[int, float]):
+    ``hid`` is the issue-order sequence number of the collective -- it is
+    identical across the SPMD worker processes of the process-rank
+    backend (every process replays the same orchestration), which is what
+    lets a rank's wait be *absorbed* by its peers (see
+    :meth:`SimCluster.absorb_wait`).
+    """
+
+    def __init__(
+        self,
+        cluster: "SimCluster",
+        op: str,
+        completion: dict[int, float],
+        hid: int = -1,
+    ):
         self.cluster = cluster
         self.op = op
         self.completion = completion
+        self.hid = hid
         self._waited: set[int] = set()
 
     def wait(self, rank: int) -> float:
@@ -63,6 +76,7 @@ class CollectiveHandle:
         self.cluster.profilers[rank].add(f"comm.{self.op}.wait", exposed)
         self._waited.add(rank)
         self.cluster._inflight[rank].discard(self)
+        self.cluster._record_wait(self, rank)
         return exposed
 
     def wait_all(self) -> None:
@@ -117,6 +131,17 @@ class SimCluster:
         self.backend: BackendSpec = (
             backend if isinstance(backend, BackendSpec) else make_backend(backend, calib)
         )
+        #: Reconstruction plan (picklable): process-rank workers rebuild
+        #: an identical cluster from these kwargs.
+        self.init_kwargs: dict[str, object] = dict(
+            n_ranks=n_ranks,
+            platform=platform,
+            backend=self.backend,
+            calib=calib,
+            blocking=blocking,
+            socket=socket,
+            topology=topology,
+        )
         self.cost = CostModel(socket, calib)
         self.clocks = [VirtualClock() for _ in range(n_ranks)]
         self.profilers = [Profiler() for _ in range(n_ranks)]
@@ -126,6 +151,15 @@ class SimCluster:
         self._last_completion = [0.0] * n_ranks
         #: Time at which the shared network engine becomes free.
         self._network_free = 0.0
+        #: Issue-order sequence for handle ids (identical across SPMD
+        #: worker processes: issues happen in replicated orchestration).
+        self._issue_seq = 0
+        #: Opt-in wait journal for the process-rank backend: ``None`` when
+        #: disabled (the default; no overhead beyond one branch), else a
+        #: list of (hid, rank) waits plus a registry of live handles so a
+        #: peer process can absorb them (see :meth:`enable_wait_log`).
+        self._wait_log: list[tuple[int, int]] | None = None
+        self._live_handles: dict[int, CollectiveHandle] = {}
 
     # -- rank properties --------------------------------------------------------
 
@@ -172,6 +206,58 @@ class SimCluster:
         """Wall-clock of the slowest rank since ``snapshot``."""
         return max(c.now - t0 for c, t0 in zip(self.clocks, snapshot))
 
+    # -- SPMD (process-rank) synchronization hooks -----------------------------------
+    #
+    # The process backend (repro.exec.mp) runs one copy of this cluster
+    # per worker process.  Collective *issues* happen in replicated
+    # orchestration (identical in every process), but per-rank *waits*
+    # happen only in the process that owns the rank -- these hooks journal
+    # the local waits so peers can absorb them, keeping every process's
+    # inflight sets (and hence MPI-backend compute interference) bitwise
+    # in lockstep with the sequential run.
+
+    def enable_wait_log(self) -> None:
+        """Start journaling per-rank waits (process-backend workers only)."""
+        if self._wait_log is None:
+            self._wait_log = []
+
+    def drain_wait_log(self) -> list[tuple[int, int]]:
+        """Return and clear the (hid, rank) waits journaled so far."""
+        if self._wait_log is None:
+            return []
+        out, self._wait_log = self._wait_log, []
+        return out
+
+    def _record_wait(self, handle: CollectiveHandle, rank: int) -> None:
+        if self._wait_log is not None:
+            self._wait_log.append((handle.hid, rank))
+            if handle.done:
+                self._live_handles.pop(handle.hid, None)
+
+    def absorb_wait(self, hid: int, rank: int) -> None:
+        """Mark ``rank``'s wait on collective ``hid`` as done without
+        advancing any clock (the owning process already published the
+        advanced clock).  Unknown or already-completed handles are
+        ignored -- replicated orchestration may have waited them locally
+        (e.g. ``wait_all`` in ``predict_proba``)."""
+        handle = self._live_handles.get(hid)
+        if handle is None:
+            return
+        handle._waited.add(rank)
+        self._inflight[rank].discard(handle)
+        if handle.done:
+            self._live_handles.pop(hid, None)
+
+    def set_clock(self, rank: int, now: float) -> None:
+        """Set rank's clock to an absolute published time (monotonic:
+        the publisher's clock can only be ahead of our stale copy)."""
+        clock = self.clocks[rank]
+        if now < clock.now:
+            raise ValueError(
+                f"rank {rank} clock would move backwards: {clock.now} -> {now}"
+            )
+        clock.advance_to(now)
+
     # -- collective issue machinery --------------------------------------------------
 
     def issue(
@@ -198,7 +284,10 @@ class SimCluster:
                 done = max(done, self._last_completion[r])
                 self._last_completion[r] = done
             completion[r] = done
-        handle = CollectiveHandle(self, op, completion)
+        handle = CollectiveHandle(self, op, completion, hid=self._issue_seq)
+        self._issue_seq += 1
+        if self._wait_log is not None:
+            self._live_handles[handle.hid] = handle
         for r in self.ranks:
             self._inflight[r].add(handle)
         effective_blocking = self.blocking if blocking is None else blocking
@@ -215,9 +304,14 @@ class SimCluster:
         reduce-scatter + allgather, per the paper)."""
         if len(bufs) != self.n_ranks:
             raise ValueError(f"expected {self.n_ranks} buffers, got {len(bufs)}")
-        # The actual ring algorithm: the data path executes exactly what
-        # the cost model prices (reduce-scatter + allgather rotations).
-        out = ring_allreduce(bufs)
+        # Data path: the fixed-rank-order reduce-scatter + allgather
+        # composition.  Semantically the ring (the cost model prices the
+        # ring's transfer volume), but one fold instead of R rotation
+        # copies -- this is the real execution hot path, and its
+        # summation order is stable across the thread and process
+        # backends.  The step-by-step ring algorithm itself lives in
+        # repro.comm.ring, pinned by its own bandwidth-bound tests.
+        out = fc.allreduce_via_rs_ag(bufs)
         cost = self.net.allreduce(self.participants(), bufs[0].nbytes)
         handle = self.issue(op, cost, blocking)
         return out, handle

@@ -135,9 +135,25 @@ class DistributedDLRM:
         #: Worker pool for per-rank phase execution (None = the
         #: process-wide pool, resolved at call time).
         self.pool = pool
+        #: Build plan for process-rank workers (everything but the
+        #: cluster, which carries its own reconstruction parameters, and
+        #: the optimizer factory captured by :meth:`attach_optimizers`).
+        self.init_kwargs: dict[str, object] = dict(
+            cfg=cfg,
+            seed=seed,
+            exchange=exchange,
+            engine=engine,
+            storage=storage,
+            lo_bits=lo_bits,
+            loader_mode=loader_mode,
+            gemm_impl=gemm_impl,
+            placement=list(self.owners),
+        )
+        self.optimizer_factory: Callable[[], SGD] | None = None
 
     def attach_optimizers(self, factory: Callable[[], SGD]) -> None:
         """One optimizer per rank (dense state must be rank-local)."""
+        self.optimizer_factory = factory
         self.optimizers = []
         for model in self.models:
             opt = factory()
@@ -162,13 +178,24 @@ class DistributedDLRM:
             raise RuntimeError("call attach_optimizers() before train_step()")
         return self.optimizers[rank].strategy.cost_key
 
+    def _resolve_pool(self) -> WorkerPool:
+        return self.pool if self.pool is not None else get_pool()
+
     def _map_ranks(self, fn: Callable[[int], object]) -> list:
         """Run ``fn(rank)`` for every rank; concurrently when the pool is
         wide, in rank order otherwise.  Results come back in rank order
         either way.  Rank tasks may only touch rank-local state (model,
         optimizer, clock, profiler) plus per-rank collective waits."""
-        pool = self.pool if self.pool is not None else get_pool()
-        return pool.map(fn, list(self.cluster.ranks))
+        return self._resolve_pool().map(fn, list(self.cluster.ranks))
+
+    def _grads_for(self, half: str) -> Callable[[int], list[np.ndarray]]:
+        """Lazy per-rank gradient source for the DDP reducer.
+
+        Evaluated only inside the reducer's per-rank pack/unpack tasks,
+        so under the process backend a worker touches exactly its own
+        ranks' live gradients (other ranks' replicas here are stale) and
+        only the packed flats cross the transport."""
+        return lambda r: [p.grad for p in getattr(self.models[r], half).parameters()]
 
     # -- the iteration ------------------------------------------------------------
 
@@ -254,9 +281,12 @@ class DistributedDLRM:
         ddense: list[np.ndarray] = [dd for _, dd, _ in fwd_bwd]
         dembs: list[dict[int, np.ndarray]] = [de for _, _, de in fwd_bwd]
 
-        # 7. Allreduce the Top MLP gradients (overlaps remaining backward).
-        top_grads = [[p.grad for p in m.top.parameters()] for m in self.models]
-        ar_top = self.reducer.allreduce_grads(top_grads)
+        # 7. Allreduce the Top MLP gradients (overlaps remaining
+        # backward).  The gradient source is lazy and the pack/unpack
+        # run on the rank pool: each backend's owner packs its own
+        # ranks.
+        pool = self._resolve_pool()
+        ar_top = self.reducer.allreduce_grads(self._grads_for("top"), pool=pool)
 
         # 8. Backward exchange: embedding-output gradients to table owners.
         grads_to_owner, ex_bwd = self.exchange.backward(cluster, dembs, self.owners)
@@ -271,8 +301,7 @@ class DistributedDLRM:
             )
 
         self._map_ranks(_bottom_bwd)
-        bottom_grads = [[p.grad for p in m.bottom.parameters()] for m in self.models]
-        ar_bottom = self.reducer.allreduce_grads(bottom_grads)
+        ar_bottom = self.reducer.allreduce_grads(self._grads_for("bottom"), pool=pool)
 
         # 11-12. One fused rank task: wait the backward exchange, run the
         # Alg. 2 backward + sparse update, then wait the allreduces and

@@ -136,13 +136,24 @@ class PrecisionSpec:
 
 @dataclass(frozen=True)
 class ParallelSpec:
-    """Single-process (ranks=1) or hybrid-parallel on a SimCluster."""
+    """Single-process (ranks=1) or hybrid-parallel on a SimCluster.
+
+    ``backend`` is the modelled *communication* backend (mpi/ccl/local);
+    ``exec_backend`` is the real execution substrate the trainer runs
+    rank phases on (``thread`` = the process-wide worker pool,
+    ``process`` = shared-memory worker processes, see
+    :mod:`repro.exec.mp`), with ``exec_workers`` worker threads or
+    processes (None = backend default).  Every combination trains
+    bitwise identically; only wall-clock changes.
+    """
 
     ranks: int = 1
     platform: str = "node"
     backend: str = "ccl"
     exchange: str = "alltoall"
     placement: str = "round_robin"
+    exec_backend: str = "thread"
+    exec_workers: int | None = None
 
 
 @dataclass(frozen=True)
@@ -226,6 +237,18 @@ class RunSpec:
             )
         if self.parallel.ranks < 1:
             raise ValueError("parallel.ranks must be >= 1")
+        if self.parallel.exec_backend not in ("thread", "process"):
+            raise ValueError(
+                f"parallel.exec_backend must be 'thread' or 'process', "
+                f"got {self.parallel.exec_backend!r}"
+            )
+        if self.parallel.exec_workers is not None and self.parallel.exec_workers < 1:
+            raise ValueError("parallel.exec_workers must be >= 1 (or null)")
+        if self.parallel.exec_backend == "process" and self.parallel.ranks < 2:
+            raise ValueError(
+                "parallel.exec_backend='process' needs parallel.ranks >= 2 "
+                "(single-process runs have no ranks to place in workers)"
+            )
         if self.schedule.steps < 0:
             raise ValueError("schedule.steps must be non-negative")
         if self.schedule.lr_schedule is not None:

@@ -32,6 +32,8 @@ from repro.core.metrics import accuracy, log_loss, roc_auc
 from repro.core.mlp import sigmoid
 from repro.core.model import DLRM
 from repro.core.optim import SGD
+from repro.exec import EXEC_BACKENDS
+from repro.exec.mp import ProcessRankExecutor, in_worker_process
 from repro.exec.prefetch import PrefetchLoader
 from repro.parallel.cluster import SimCluster
 from repro.parallel.hybrid import DistributedDLRM
@@ -162,14 +164,20 @@ class Trainer:
         end = self.step + steps
         while self.step < end and not self.should_stop:
             step = self.step
-            batch = self._prefetch.batch(step)
             self.callbacks.on_step_start(self, step)
-            loss = self.train_step(batch)
+            loss = self._run_step(step)
             self.losses.append(loss)
             self.step += 1
             self.callbacks.on_step_end(self, step, loss)
         self.callbacks.on_fit_end(self)
         return self
+
+    def _run_step(self, step: int) -> float:
+        """Synthesize batch ``step`` and train on it (the loop's one
+        step).  The process backend overrides this: workers synthesize
+        their own batches from ``(seed, step)``, so the parent neither
+        builds nor ships a batch."""
+        return self.train_step(self._prefetch.batch(step))
 
     def train_step(self, batch: Batch) -> float:
         """One optimizer step on ``batch``; returns the loss."""
@@ -217,15 +225,21 @@ class Trainer:
 
     # -- checkpointing --------------------------------------------------------
 
+    def model_state_dict(self) -> dict[str, np.ndarray]:
+        """The live model weights (an alias the distributed/process
+        backends override with their consolidated equivalents)."""
+        return self.model.state_dict()
+
+    def opt_state_dict(self) -> dict[str, np.ndarray]:
+        """The live optimizer state (see :meth:`model_state_dict`)."""
+        return self.optimizer.state_dict(self.model.parameters(), self.model.tables)
+
     def save_checkpoint(self, path: str | Path) -> None:
         """Write model + optimizer + step (+ spec) as one ``.npz``."""
-        opt_state = self.optimizer.state_dict(
-            self.model.parameters(), self.model.tables
-        )
         save_state(
             path,
-            self.model.state_dict(),
-            opt_state,
+            self.model_state_dict(),
+            self.opt_state_dict(),
             step=self.step,
             spec=self.spec,
         )
@@ -234,6 +248,9 @@ class Trainer:
         """Restore states and step into this trainer's live objects."""
         ckpt = restore(self.model, self.optimizer, ckpt)
         self.step = ckpt.step
+
+    def close(self) -> None:
+        """Release backend resources (a no-op for in-process backends)."""
 
 
 class DistributedTrainer(Trainer):
@@ -245,6 +262,20 @@ class DistributedTrainer(Trainer):
     Checkpoints are saved *consolidated* (dense from rank 0, each table
     from its owner) in the exact single-process layout -- a distributed
     run's file serves and resumes anywhere.
+
+    ``backend`` picks the execution substrate:
+
+    * ``"thread"`` (default) -- rank phases run on the process-wide
+      :class:`~repro.exec.pool.WorkerPool` (sequential when it is
+      1-wide).  ``workers`` (optional) resizes that pool.
+    * ``"process"`` -- rank phases run in ``workers`` worker *processes*
+      over shared memory (:mod:`repro.exec.mp`); each worker synthesizes
+      its own batches from ``(seed, batch_index)``.  Losses, checkpoints
+      and clocks stay bitwise identical to the other backends, so a run
+      may checkpoint under one backend and resume under another.
+      Inside a process-rank worker this degrades to ``"thread"`` (the
+      nested-use guard).  Call :meth:`close` (or rely on the atexit
+      teardown) to stop the workers.
     """
 
     def __init__(
@@ -256,9 +287,16 @@ class DistributedTrainer(Trainer):
         spec: RunSpec | None = None,
         eval_size: int = 2048,
         eval_index: int = 10_000_000,
+        backend: str = "thread",
+        workers: int | None = None,
+        mp_context: str | None = None,
     ):
         if dist.optimizers is None:
             raise ValueError("attach_optimizers() before building a trainer")
+        if backend not in EXEC_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {EXEC_BACKENDS}, got {backend!r}"
+            )
         batch_size = batch_size or dist.cfg.global_minibatch
         if batch_size % dist.cluster.n_ranks:
             raise ValueError(
@@ -281,10 +319,31 @@ class DistributedTrainer(Trainer):
             eval_index=eval_index,
         )
         self.dist = dist
+        if backend == "process" and in_worker_process():
+            backend = "thread"
+        self.backend = backend
+        self._executor: ProcessRankExecutor | None = None
+        if backend == "process":
+            self._executor = ProcessRankExecutor(
+                dist,
+                dataset,
+                batch_size=self.batch_size,
+                workers=workers,
+                context=mp_context,
+                eval_size_hint=eval_size,
+            )
+        elif workers is not None:
+            from repro.exec.pool import set_pool_workers
+
+            set_pool_workers(workers)
 
     @classmethod
     def from_spec(
-        cls, spec: RunSpec, callbacks: Sequence[Callback] = ()
+        cls,
+        spec: RunSpec,
+        callbacks: Sequence[Callback] = (),
+        backend: str | None = None,
+        workers: int | None = None,
     ) -> "DistributedTrainer":
         cfg = spec.build_config()
         par = spec.parallel
@@ -308,19 +367,39 @@ class DistributedTrainer(Trainer):
             spec=spec,
             eval_size=spec.schedule.eval_size,
             eval_index=spec.schedule.eval_index,
+            backend=backend if backend is not None else par.exec_backend,
+            workers=workers if workers is not None else par.exec_workers,
         )
 
     @classmethod
     def from_checkpoint(
-        cls, ckpt: Checkpoint | str | Path, callbacks: Sequence[Callback] = ()
+        cls,
+        ckpt: Checkpoint | str | Path,
+        callbacks: Sequence[Callback] = (),
+        backend: str | None = None,
+        workers: int | None = None,
     ) -> "DistributedTrainer":
         if not isinstance(ckpt, Checkpoint):
             ckpt = load_checkpoint(ckpt)
-        trainer = cls.from_spec(ckpt.require_spec(), callbacks)
+        trainer = cls.from_spec(
+            ckpt.require_spec(), callbacks, backend=backend, workers=workers
+        )
         trainer.load_checkpoint(ckpt)
         return trainer
 
+    def _run_step(self, step: int) -> float:
+        if self._executor is not None:
+            # Workers synthesize batch ``step`` themselves; only the
+            # index and the (callback-scheduled) lr cross the pipe.
+            return self._executor.step(step, lr=self.optimizer.lr)
+        return self.train_step(self._prefetch.batch(step))
+
     def train_step(self, batch: Batch) -> float:
+        if self._executor is not None:
+            raise RuntimeError(
+                "direct train_step() bypasses the process-rank workers; "
+                "drive a process-backend trainer through fit()"
+            )
         return self.dist.train_step(batch)
 
     def all_optimizers(self) -> list[SGD]:
@@ -328,24 +407,44 @@ class DistributedTrainer(Trainer):
         return list(self.dist.optimizers)
 
     def predict_proba(self, batch: Batch) -> np.ndarray:
+        if self._executor is not None:
+            return self._executor.predict(batch)
         return self.dist.predict_proba(batch)
 
+    def model_state_dict(self) -> dict[str, np.ndarray]:
+        if self._executor is not None:
+            return self._executor.state_dicts()[0]
+        return self.dist.state_dict()
+
+    def opt_state_dict(self) -> dict[str, np.ndarray]:
+        if self._executor is not None:
+            return self._executor.state_dicts()[1]
+        return self.dist.optimizer_state_dict()
+
     def save_checkpoint(self, path: str | Path) -> None:
-        save_state(
-            path,
-            self.dist.state_dict(),
-            self.dist.optimizer_state_dict(),
-            step=self.step,
-            spec=self.spec,
-        )
+        if self._executor is not None:
+            # One worker sync + arena consolidation covers both halves.
+            model_state, opt_state = self._executor.state_dicts()
+            save_state(path, model_state, opt_state, step=self.step, spec=self.spec)
+            return
+        super().save_checkpoint(path)
 
     def load_checkpoint(self, ckpt: Checkpoint | str | Path) -> None:
         if not isinstance(ckpt, Checkpoint):
             ckpt = load_checkpoint(ckpt)
+        # The parent replica loads too: it stays the layout/lr template
+        # the callbacks and the executor consolidation read from.
         self.dist.load_state_dict(ckpt.model_state)
         if ckpt.opt_state:
             self.dist.load_optimizer_state_dict(ckpt.opt_state)
+        if self._executor is not None:
+            self._executor.load_state(ckpt.model_state, ckpt.opt_state or None)
         self.step = ckpt.step
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
 
 
 def make_trainer(

@@ -1,0 +1,136 @@
+"""Unit tests for the CI perf-trajectory gate (benchmarks/compare_bench.py)."""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench",
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "compare_bench.py",
+)
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+def cell(steps_per_s: float, bit_identical: bool = True) -> dict:
+    return {
+        "steps_per_s": steps_per_s,
+        "rows_per_s": steps_per_s * 64,
+        "speedup": 1.0,
+        "bit_identical": bit_identical,
+    }
+
+
+def train_payload(rate: float, cpu_count: int = 2, bit_identical: bool = True) -> dict:
+    return {
+        "bench": "train_e2e",
+        "schema": 2,
+        "quick": True,
+        "cpu_count": cpu_count,
+        "steps": 4,
+        "numpy": "2.0",
+        "results": {
+            "distributed_fp32": {
+                "mode": "distributed",
+                "storage": "fp32",
+                "backends": {
+                    "thread": {"1": cell(rate), "2": cell(rate * 1.1)},
+                    "process": {
+                        "1": cell(rate * 0.9),
+                        "2": cell(rate * 1.2, bit_identical=bit_identical),
+                    },
+                },
+            }
+        },
+    }
+
+
+class TestBitIdentityGate:
+    def test_clean_payload_passes(self):
+        assert compare_bench.check_bit_identity(train_payload(5.0), "train_e2e") == []
+
+    def test_violation_fails_regardless_of_machine(self):
+        failures = compare_bench.check_bit_identity(
+            train_payload(5.0, bit_identical=False), "train_e2e"
+        )
+        assert len(failures) == 1
+        assert "process/workers=2" in failures[0]
+
+    def test_hotpath_violation(self):
+        payload = {"results": {"segment_sum": {"speedup": 2.0, "bit_identical": False}}}
+        failures = compare_bench.check_bit_identity(payload, "hotpath")
+        assert failures and "segment_sum" in failures[0]
+
+
+class TestRegressionGate:
+    def test_within_tolerance_passes(self):
+        base, fresh = train_payload(5.0), train_payload(4.0)
+        failures, notes = compare_bench.check_train_regressions(base, fresh, 0.30)
+        assert failures == []
+        assert any("compared" in n for n in notes)
+
+    def test_over_threshold_fails(self):
+        base, fresh = train_payload(5.0), train_payload(3.0)
+        failures, _ = compare_bench.check_train_regressions(base, fresh, 0.30)
+        assert failures and "regressed" in failures[0]
+
+    def test_cpu_count_mismatch_skips(self):
+        base, fresh = train_payload(5.0, cpu_count=2), train_payload(1.0, cpu_count=4)
+        failures, notes = compare_bench.check_train_regressions(base, fresh, 0.30)
+        assert failures == []
+        assert any("cpu_count" in n for n in notes)
+
+    def test_schema1_baseline_still_compares(self):
+        """Pre-process-backend baselines (flat ``workers`` layout) gate
+        the thread cells."""
+        base = {
+            "quick": True,
+            "cpu_count": 2,
+            "results": {
+                "distributed_fp32": {"workers": {"1": cell(5.0), "2": cell(5.5)}}
+            },
+        }
+        failures, _ = compare_bench.check_train_regressions(base, train_payload(3.0), 0.30)
+        assert failures and "thread/workers=1" in failures[0]
+
+    def test_hotpath_speedup_ratio_gate(self):
+        base = {"quick": True, "results": {"k": {"speedup": 4.0, "bit_identical": True}}}
+        fresh = {"quick": True, "results": {"k": {"speedup": 2.0, "bit_identical": True}}}
+        failures, _ = compare_bench.check_hotpath_regressions(base, fresh, 0.30)
+        assert failures and "speedup regressed" in failures[0]
+
+
+class TestEndToEnd:
+    def test_main_green_run(self, tmp_path, monkeypatch, capsys):
+        base = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        base.write_text(json.dumps(train_payload(5.0)))
+        fresh.write_text(json.dumps(train_payload(5.2)))
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        rc = compare_bench.main(
+            ["--train-baseline", str(base), "--train-fresh", str(fresh)]
+        )
+        assert rc == 0
+        text = summary.read_text()
+        assert "process/thread" in text
+        assert "perf gate passed" in text
+
+    def test_main_fails_on_bit_violation(self, tmp_path):
+        fresh = tmp_path / "fresh.json"
+        fresh.write_text(json.dumps(train_payload(5.0, bit_identical=False)))
+        rc = compare_bench.main(["--train-fresh", str(fresh)])
+        assert rc == 1
+
+    def test_main_fails_on_regression(self, tmp_path):
+        base = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        base.write_text(json.dumps(train_payload(5.0)))
+        fresh.write_text(json.dumps(train_payload(2.0)))
+        rc = compare_bench.main(
+            ["--train-baseline", str(base), "--train-fresh", str(fresh)]
+        )
+        assert rc == 1

@@ -1,0 +1,342 @@
+"""The process-rank substrate: shared-memory primitives + worker lifecycle.
+
+Bit-identity of whole training runs lives in
+``tests/train/test_process_trainer.py``; this file covers the plumbing:
+mailbox/arena round trips, the executor's command surface, crash
+propagation, the nested-use guard, the worker cap, and orphan reaping
+when the parent dies mid-step.
+
+Most tests use the ``fork`` start method (fast, accepts test-local
+factories); the spawn path is exercised by the dedicated smoke test in
+the trainer suite.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+import time
+
+import numpy as np
+import pytest
+
+from repro.exec.mp import (
+    MailboxOverflow,
+    ProcessRankExecutor,
+    ShmArena,
+    ShmMailbox,
+    in_worker_process,
+)
+from repro.train import RunSpec
+from repro.train.trainer import DistributedTrainer
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+@pytest.fixture(autouse=True)
+def _fork_context(monkeypatch):
+    monkeypatch.setenv("REPRO_MP_CONTEXT", "fork")
+
+
+def tiny_spec(**over) -> RunSpec:
+    base = {
+        "model": {"config": "small", "rows_cap": 200, "minibatch": 16, "seed": 3},
+        "data": {"name": "random", "seed": 5},
+        "optimizer": {"name": "sgd", "lr": 0.05},
+        "parallel": {"ranks": 2, "platform": "cluster"},
+        "schedule": {"steps": 2, "batch_size": 32, "eval_size": 32},
+    }
+    base.update(over)
+    return RunSpec.from_dict(base)
+
+
+class TestShmMailbox:
+    def test_round_trip_mixed_payload(self):
+        box = ShmMailbox.create("tmb-rt", 1 << 20)
+        try:
+            obj = (
+                {0: np.arange(12, dtype=np.float32).reshape(3, 4)},
+                {1: 2.5},
+                [(3, 0), (7, 1)],
+            )
+            box.publish(obj, 1)
+            out = box.read(1)
+            assert np.array_equal(out[0][0], obj[0][0])
+            assert out[1] == {1: 2.5} and out[2] == [(3, 0), (7, 1)]
+        finally:
+            box.close()
+            box.unlink()
+
+    def test_double_buffer_rounds(self):
+        """Round k's data survives round k+1 (parity slots)."""
+        box = ShmMailbox.create("tmb-db", 1 << 16)
+        try:
+            a = np.full(64, 1.0, dtype=np.float64)
+            b = np.full(64, 2.0, dtype=np.float64)
+            box.publish(a, 1)
+            first = box.read(1)
+            box.publish(b, 2)
+            assert np.array_equal(first, a)  # still intact in the odd slot
+            assert np.array_equal(box.read(2), b)
+        finally:
+            box.close()
+            box.unlink()
+
+    def test_reads_are_readonly_views(self):
+        box = ShmMailbox.create("tmb-ro", 1 << 16)
+        try:
+            box.publish(np.arange(8, dtype=np.float32), 1)
+            out = box.read(1)
+            assert not out.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                out[0] = 99.0
+        finally:
+            box.close()
+            box.unlink()
+
+    def test_sequence_guard(self):
+        box = ShmMailbox.create("tmb-seq", 1 << 16)
+        try:
+            box.publish([1, 2, 3], 1)
+            with pytest.raises(RuntimeError, match="out of sync"):
+                box.read(3)
+        finally:
+            box.close()
+            box.unlink()
+
+    def test_overflow_is_loud(self):
+        box = ShmMailbox.create("tmb-ovf", 1 << 12)
+        try:
+            with pytest.raises(MailboxOverflow, match="REPRO_MP_MAILBOX_MB"):
+                box.publish(np.zeros(1 << 16, dtype=np.float64), 1)
+        finally:
+            box.close()
+            box.unlink()
+
+
+class TestShmArena:
+    def test_round_trip_state_dict(self):
+        state = {
+            "w": np.arange(6, dtype=np.float32).reshape(2, 3),
+            "lr": np.float64(0.05),
+            "lo": np.arange(4, dtype=np.uint16),
+        }
+        layout = ShmArena.layout_for(state)
+        arena = ShmArena.create("tma-rt", layout)
+        try:
+            arena.write(state)
+            peer = ShmArena.attach("tma-rt", layout)
+            back = peer.read()
+            assert set(back) == set(state)
+            for key in state:
+                assert np.array_equal(back[key], np.asarray(state[key]))
+            # Writes land in shared bytes: the creator sees them live.
+            peer.view("w")[0, 0] = 42.0
+            assert arena.view("w")[0, 0] == 42.0
+            peer.close()
+        finally:
+            arena.close()
+            arena.unlink()
+
+    def test_shape_drift_rejected(self):
+        state = {"w": np.zeros((2, 2), dtype=np.float32)}
+        arena = ShmArena.create("tma-drift", ShmArena.layout_for(state))
+        try:
+            with pytest.raises(ValueError, match="shape/dtype"):
+                arena.write({"w": np.zeros((2, 3), dtype=np.float32)})
+        finally:
+            arena.close()
+            arena.unlink()
+
+
+def build_dist(spec: RunSpec):
+    from repro.parallel.cluster import SimCluster
+    from repro.parallel.hybrid import DistributedDLRM
+
+    cfg = spec.build_config()
+    cluster = SimCluster(
+        spec.parallel.ranks, platform=spec.parallel.platform, backend=spec.parallel.backend
+    )
+    dist = DistributedDLRM(
+        cfg, cluster, seed=spec.model.seed, storage=spec.precision.storage
+    )
+    dist.attach_optimizers(spec.build_optimizer)
+    return dist, spec.build_dataset(cfg)
+
+
+class TestExecutor:
+    def test_step_predict_state_parity(self):
+        spec = tiny_spec()
+        dist, dataset = build_dist(spec)
+        ref_dist, ref_data = build_dist(spec)
+        executor = ProcessRankExecutor(dist, dataset, batch_size=32, workers=2)
+        try:
+            for i in range(2):
+                loss = executor.step(i, lr=0.05)
+                ref = ref_dist.train_step(ref_data.batch(32, i))
+                assert loss == ref
+            batch = ref_data.batch(32, 10_000)
+            assert np.array_equal(executor.predict(batch), ref_dist.predict_proba(batch))
+            model_state, opt_state = executor.state_dicts()
+            ref_model = ref_dist.state_dict()
+            assert set(model_state) == set(ref_model)
+            assert all(np.array_equal(model_state[k], ref_model[k]) for k in ref_model)
+            ref_opt = ref_dist.optimizer_state_dict()
+            assert set(opt_state) == set(ref_opt)
+            assert all(np.array_equal(opt_state[k], ref_opt[k]) for k in ref_opt)
+            assert executor.clocks() == ref_dist.cluster.snapshot()
+        finally:
+            executor.close()
+
+    def test_load_state_round_trip(self):
+        spec = tiny_spec()
+        dist, dataset = build_dist(spec)
+        executor = ProcessRankExecutor(dist, dataset, batch_size=32, workers=2)
+        try:
+            executor.step(0, lr=0.05)
+            model_state, opt_state = executor.state_dicts()
+            executor.step(1, lr=0.05)
+            executor.load_state(model_state, opt_state)
+            back, back_opt = executor.state_dicts()
+            assert all(np.array_equal(back[k], model_state[k]) for k in model_state)
+            assert all(np.array_equal(back_opt[k], opt_state[k]) for k in opt_state)
+        finally:
+            executor.close()
+
+    def test_worker_cap(self):
+        spec = tiny_spec()
+        dist, dataset = build_dist(spec)
+        executor = ProcessRankExecutor(dist, dataset, batch_size=32, workers=64)
+        try:
+            # Capped at ranks and host cores, like the thread pool.
+            assert executor.n_workers <= min(2, os.cpu_count() or 2)
+        finally:
+            executor.close()
+
+    def test_worker_crash_propagates_with_traceback(self):
+        spec = tiny_spec()
+        dist, dataset = build_dist(spec)
+
+        class Exploding:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def batch(self, n, index=0):
+                if index >= 1:
+                    raise RuntimeError("boom at index %d" % index)
+                return self.inner.batch(n, index)
+
+        executor = ProcessRankExecutor(dist, Exploding(dataset), batch_size=32, workers=2)
+        executor.step(0, lr=0.05)
+        with pytest.raises(RuntimeError, match="boom at index 1"):
+            executor.step(1, lr=0.05)
+        # The failed executor tore itself down.
+        assert executor._closed
+        for pid in executor.worker_pids():
+            _wait_gone(pid, timeout=10.0)
+
+    def test_close_is_idempotent_and_reaps(self):
+        spec = tiny_spec()
+        dist, dataset = build_dist(spec)
+        executor = ProcessRankExecutor(dist, dataset, batch_size=32, workers=2)
+        pids = executor.worker_pids()
+        executor.step(0, lr=0.05)
+        executor.close()
+        executor.close()
+        for pid in pids:
+            _wait_gone(pid, timeout=10.0)
+
+
+class TestNestedGuard:
+    def test_in_worker_process_flag(self, monkeypatch):
+        assert not in_worker_process()
+        monkeypatch.setenv("_REPRO_MP_WORKER", "1")
+        assert in_worker_process()
+
+    def test_executor_refuses_nested_use(self, monkeypatch):
+        monkeypatch.setenv("_REPRO_MP_WORKER", "1")
+        spec = tiny_spec()
+        with pytest.raises(RuntimeError, match="nested process backend"):
+            dist, dataset = build_dist(spec)
+            ProcessRankExecutor(dist, dataset, batch_size=32)
+
+    def test_trainer_degrades_to_thread(self, monkeypatch):
+        monkeypatch.setenv("_REPRO_MP_WORKER", "1")
+        trainer = DistributedTrainer.from_spec(tiny_spec(), backend="process")
+        assert trainer.backend == "thread"
+        assert trainer._executor is None
+        trainer.fit(1)
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - foreign pid
+        return True
+    return True
+
+
+def _wait_gone(pid: int, timeout: float) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not _alive(pid):
+            return
+        # Reap zombies of our own children so os.kill stops seeing them.
+        try:
+            os.waitpid(pid, os.WNOHANG)
+        except ChildProcessError:
+            pass
+        time.sleep(0.2)
+    raise AssertionError(f"worker {pid} still alive after {timeout}s")
+
+
+ORPHAN_SCRIPT = textwrap.dedent(
+    """
+    import os, sys
+    os.environ["REPRO_MP_CONTEXT"] = "fork"
+    sys.path.insert(0, sys.argv[1])
+    from repro.train import RunSpec
+    from repro.exec.mp import ProcessRankExecutor
+
+    spec = RunSpec.from_dict({
+        "model": {"config": "small", "rows_cap": 200, "minibatch": 16, "seed": 3},
+        "data": {"name": "random", "seed": 5},
+        "parallel": {"ranks": 2, "platform": "cluster"},
+        "schedule": {"steps": 2, "batch_size": 32, "eval_size": 32},
+    })
+    cfg = spec.build_config()
+    from repro.parallel.cluster import SimCluster
+    from repro.parallel.hybrid import DistributedDLRM
+    cluster = SimCluster(2, platform="cluster")
+    dist = DistributedDLRM(cfg, cluster, seed=3)
+    dist.attach_optimizers(spec.build_optimizer)
+    ex = ProcessRankExecutor(dist, spec.build_dataset(cfg), batch_size=32, workers=2)
+    print("PIDS " + " ".join(map(str, ex.worker_pids())), flush=True)
+    # Fire a step and die mid-flight: no close(), no atexit (os._exit).
+    for conn in ex._conns:
+        conn.send(("step", 0, 0.05))
+    os._exit(1)
+    """
+)
+
+
+class TestOrphanReaping:
+    def test_workers_reaped_when_parent_dies_mid_step(self, tmp_path):
+        script = tmp_path / "orphan.py"
+        script.write_text(ORPHAN_SCRIPT)
+        out = subprocess.run(
+            [sys.executable, str(script), SRC],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        pid_lines = [line for line in out.stdout.splitlines() if line.startswith("PIDS")]
+        assert pid_lines, f"no worker pids reported: {out.stdout!r} {out.stderr!r}"
+        pids = [int(p) for p in pid_lines[0].split()[1:]]
+        assert pids
+        # Workers detect the dead parent (pipe EOF / liveness poll +
+        # barrier abort) and exit on their own.
+        for pid in pids:
+            _wait_gone(pid, timeout=30.0)

@@ -1,0 +1,214 @@
+"""DistributedTrainer(backend="process"): same bits as every other path.
+
+The process-rank backend's contract: losses, consolidated checkpoints,
+optimizer state and virtual clocks are bitwise identical to the
+sequential and thread paths -- FP32 and Split-BF16, at any worker count
+-- and checkpoints round-trip *across* backends (train under one,
+resume under the other).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.exec.pool import pooled
+from repro.train import RunSpec, load_checkpoint, make_trainer
+from repro.train.trainer import DistributedTrainer
+
+from tests.train.test_trainer import tiny_spec
+
+
+@pytest.fixture(autouse=True)
+def _fork_context(monkeypatch):
+    """fork keeps these tests fast; the spawn smoke test below opts out."""
+    monkeypatch.setenv("REPRO_MP_CONTEXT", "fork")
+
+
+def dist_spec(storage: str = "fp32", steps: int = 4, **over) -> RunSpec:
+    base = {
+        "precision": {"storage": storage},
+        "parallel": {"ranks": 4, "platform": "cluster"},
+        "schedule": {"steps": steps, "batch_size": 64, "eval_size": 64},
+    }
+    if storage == "split_bf16":
+        base["optimizer"] = {"name": "split_sgd", "lr": 0.05}
+    base.update(over)
+    return tiny_spec(**base)
+
+
+def state_equal(a: dict, b: dict) -> bool:
+    return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+
+class TestProcessBitIdentity:
+    @pytest.mark.parametrize("storage", ["fp32", "split_bf16"])
+    def test_fit_matches_sequential(self, storage):
+        spec = dist_spec(storage)
+        sequential = make_trainer(spec).fit()
+        proc = DistributedTrainer.from_spec(spec, backend="process", workers=2)
+        try:
+            proc.fit()
+            assert proc.losses == sequential.losses
+            assert state_equal(proc.model_state_dict(), sequential.dist.state_dict())
+            assert state_equal(
+                proc.opt_state_dict(), sequential.dist.optimizer_state_dict()
+            )
+            assert proc._executor.clocks() == sequential.dist.cluster.snapshot()
+        finally:
+            proc.close()
+
+    def test_fit_matches_thread_pool(self):
+        spec = dist_spec()
+        with pooled(4):
+            thread = make_trainer(spec).fit()
+        proc = DistributedTrainer.from_spec(spec, backend="process", workers=4)
+        try:
+            proc.fit()
+            assert proc.losses == thread.losses
+            assert state_equal(proc.model_state_dict(), thread.dist.state_dict())
+        finally:
+            proc.close()
+
+    def test_predict_and_evaluate_parity(self):
+        spec = dist_spec()
+        sequential = make_trainer(spec).fit()
+        proc = DistributedTrainer.from_spec(spec, backend="process", workers=2)
+        try:
+            proc.fit()
+            assert np.array_equal(
+                proc.predict_proba(proc.eval_batch()),
+                sequential.predict_proba(sequential.eval_batch()),
+            )
+            assert proc.evaluate() == sequential.evaluate()
+        finally:
+            proc.close()
+
+    def test_lr_schedule_rides_the_pipe(self):
+        """Callback-driven lr changes reach the workers step by step."""
+        schedule = {
+            "steps": 4,
+            "batch_size": 64,
+            "eval_size": 64,
+            "lr_schedule": {"name": "warmup_decay", "peak_lr": 0.2, "warmup_steps": 2},
+        }
+        spec = dist_spec(schedule=schedule)
+        sequential = make_trainer(spec).fit()
+        proc = DistributedTrainer.from_spec(spec, backend="process", workers=2)
+        try:
+            proc.fit()
+            assert proc.losses == sequential.losses
+            assert state_equal(proc.model_state_dict(), sequential.dist.state_dict())
+        finally:
+            proc.close()
+
+
+class TestCrossBackendCheckpoints:
+    @pytest.mark.parametrize("storage", ["fp32", "split_bf16"])
+    def test_thread_to_process_resume(self, storage, tmp_path):
+        spec = dist_spec(storage, steps=6)
+        full = make_trainer(spec).fit()
+        half = make_trainer(spec).fit(3)
+        half.save_checkpoint(tmp_path / "half.npz")
+        resumed = DistributedTrainer.from_checkpoint(
+            tmp_path / "half.npz", backend="process", workers=2
+        )
+        try:
+            resumed.fit(3)
+            assert resumed.step == full.step
+            assert resumed.losses == full.losses[3:]
+            assert state_equal(resumed.model_state_dict(), full.dist.state_dict())
+            assert state_equal(
+                resumed.opt_state_dict(), full.dist.optimizer_state_dict()
+            )
+        finally:
+            resumed.close()
+
+    @pytest.mark.parametrize("storage", ["fp32", "split_bf16"])
+    def test_process_to_thread_resume(self, storage, tmp_path):
+        spec = dist_spec(storage, steps=6)
+        full = make_trainer(spec).fit()
+        half = DistributedTrainer.from_spec(spec, backend="process", workers=2)
+        try:
+            half.fit(3)
+            half.save_checkpoint(tmp_path / "half.npz")
+        finally:
+            half.close()
+        resumed = DistributedTrainer.from_checkpoint(tmp_path / "half.npz")
+        assert resumed.backend == "thread"
+        resumed.fit(3)
+        assert resumed.step == full.step
+        assert resumed.losses == full.losses[3:]
+        assert state_equal(resumed.dist.state_dict(), full.dist.state_dict())
+
+    def test_checkpoint_files_equivalent(self, tmp_path):
+        """A process-backend checkpoint equals the thread-backend one."""
+        spec = dist_spec(steps=3)
+        thread = make_trainer(spec).fit()
+        thread.save_checkpoint(tmp_path / "thread.npz")
+        proc = DistributedTrainer.from_spec(spec, backend="process", workers=2)
+        try:
+            proc.fit()
+            proc.save_checkpoint(tmp_path / "process.npz")
+        finally:
+            proc.close()
+        a = load_checkpoint(tmp_path / "thread.npz")
+        b = load_checkpoint(tmp_path / "process.npz")
+        assert a.step == b.step
+        assert state_equal(a.model_state, b.model_state)
+        assert state_equal(a.opt_state, b.opt_state)
+
+
+class TestSpecPlumbing:
+    def test_exec_backend_round_trips_json(self):
+        spec = dist_spec()
+        spec = dataclasses.replace(
+            spec,
+            parallel=dataclasses.replace(
+                spec.parallel, exec_backend="process", exec_workers=2
+            ),
+        )
+        back = RunSpec.from_json(spec.to_json())
+        assert back.parallel.exec_backend == "process"
+        assert back.parallel.exec_workers == 2
+
+    def test_exec_backend_validated(self):
+        with pytest.raises(ValueError, match="exec_backend"):
+            dist_spec(parallel={"ranks": 4, "exec_backend": "greenlet"})
+        with pytest.raises(ValueError, match="ranks >= 2"):
+            tiny_spec(parallel={"ranks": 1, "exec_backend": "process"})
+
+    def test_make_trainer_honours_spec_backend(self):
+        spec = dist_spec(steps=2)
+        spec = dataclasses.replace(
+            spec,
+            parallel=dataclasses.replace(
+                spec.parallel, exec_backend="process", exec_workers=2
+            ),
+        )
+        trainer = make_trainer(spec)
+        try:
+            assert isinstance(trainer, DistributedTrainer)
+            assert trainer.backend == "process"
+            assert trainer._executor is not None
+            trainer.fit()
+            reference = make_trainer(dist_spec(steps=2)).fit()
+            assert trainer.losses == reference.losses
+        finally:
+            trainer.close()
+
+
+class TestSpawnSmoke:
+    def test_spawn_start_method(self, monkeypatch):
+        """The portable default start method works end to end (slow:
+        workers re-import the world)."""
+        monkeypatch.delenv("REPRO_MP_CONTEXT", raising=False)
+        spec = dist_spec(steps=2)
+        sequential = make_trainer(spec).fit()
+        proc = DistributedTrainer.from_spec(spec, backend="process", workers=2)
+        try:
+            assert proc._executor is not None
+            proc.fit()
+            assert proc.losses == sequential.losses
+        finally:
+            proc.close()
