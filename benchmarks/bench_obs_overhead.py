@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Disabled-tracing overhead: is instrumentation free when off?
+
+The repro.obs span sites stay in the hot paths permanently, so the
+contract is that with no tracer installed each ``with trace(...)`` is a
+None-check returning a shared null span -- cheap enough to ignore.  This
+bench pins that claim with numbers from the machine it runs on:
+
+1. per-call cost of a *disabled* ``with trace(...)`` block (median of
+   several timed batches, so a GC pause can't fail CI);
+2. spans emitted per training step, counted from a short traced run of
+   a small single-process DLRM;
+3. wall-clock per *untraced* step of the same setup.
+
+Projected overhead = spans/step x per-call-ns / step-ns.  The gate
+fails above ``--budget`` percent (default 1.0, the repo's stated
+ceiling).  Exits non-zero on failure so CI can assert it.
+
+Run:  PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import time
+
+from repro.obs import Tracer, set_tracer, trace
+from repro.train import RunSpec, make_trainer
+
+SPEC = {
+    "name": "obs-overhead",
+    "model": {"config": "small", "rows_cap": 256, "minibatch": 32},
+    "schedule": {"steps": 64, "eval_size": 64},
+}
+
+
+def disabled_call_ns(calls: int, batches: int = 5) -> float:
+    """Median per-call ns of ``with trace(...): pass`` with tracing off."""
+    set_tracer(None)  # the disabled path is what's being timed
+    per_batch = []
+    for _ in range(batches):
+        t0 = time.perf_counter_ns()
+        for _ in range(calls):
+            with trace("overhead.probe"):
+                pass
+        per_batch.append((time.perf_counter_ns() - t0) / calls)
+    return statistics.median(per_batch)
+
+
+def measure_step(steps: int, traced: bool) -> tuple[float, int]:
+    """(wall ns per step, spans recorded) for a fresh small trainer."""
+    spec = RunSpec.from_dict(SPEC)
+    if traced:
+        set_tracer(Tracer(proc="main"))
+    try:
+        trainer = make_trainer(spec)
+        trainer.fit(1)  # warmup: first step pays one-time allocations
+        t0 = time.perf_counter_ns()
+        trainer.fit(steps)
+        elapsed = time.perf_counter_ns() - t0
+        spans = trainer.drain_trace_spans()
+    finally:
+        set_tracer(None)
+    return elapsed / steps, len(spans)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--calls", type=int, default=200_000, help="disabled probe calls")
+    parser.add_argument("--steps", type=int, default=3, help="training steps to measure")
+    parser.add_argument(
+        "--budget", type=float, default=1.0,
+        help="max projected overhead in percent (default 1.0)",
+    )
+    args = parser.parse_args()
+
+    call_ns = disabled_call_ns(args.calls)
+    step_ns, _ = measure_step(args.steps, traced=False)
+    _, spans = measure_step(args.steps, traced=True)
+    # fit(1) warmup + fit(steps) both record; normalise to per-step.
+    spans_per_step = spans / (args.steps + 1)
+    overhead_pct = 100.0 * spans_per_step * call_ns / step_ns
+
+    print(f"disabled 'with trace(...)' call:  {call_ns:8.1f} ns (median of 5 batches)")
+    print(f"untraced step:                    {step_ns / 1e6:8.3f} ms")
+    print(f"spans per traced step:            {spans_per_step:8.1f}")
+    print(f"projected disabled overhead:      {overhead_pct:8.4f} %  (budget {args.budget} %)")
+    if overhead_pct > args.budget:
+        print("OVERHEAD BUDGET EXCEEDED")
+        return 1
+    print("within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

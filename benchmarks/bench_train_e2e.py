@@ -17,6 +17,11 @@ bit-identity breaks.  Speedups are informational here -- the CI perf
 gate (``benchmarks/compare_bench.py``) diffs this file's JSON against
 the committed baseline and fails on regressions at matching cpu_count.
 
+Each scenario also carries a ``stages`` section -- the per-stage
+wall-clock breakdown of a short traced run (repro.obs spans), versioned
+by ``telemetry_schema`` so the CI gate can flag schema drift and stage
+shares that blow up between baseline and fresh runs.
+
 Results are written to ``BENCH_train_e2e.json`` at the repo root.
 
 Run:  PYTHONPATH=src python benchmarks/bench_train_e2e.py [--quick] [--steps N]
@@ -46,6 +51,7 @@ from repro.core.optim import SGD, SplitSGD
 from repro.core.update import FusedBackwardUpdate
 from repro.data.synthetic import RandomRecDataset
 from repro.exec.pool import pooled, tune_allocator_for_threads
+from repro.obs import TELEMETRY_SCHEMA, Tracer, set_tracer, stage_breakdown
 from repro.parallel.cluster import SimCluster
 from repro.parallel.hybrid import DistributedDLRM
 from repro.train import DistributedTrainer, Trainer
@@ -53,7 +59,9 @@ from repro.train import DistributedTrainer, Trainer
 REPO_ROOT = Path(__file__).resolve().parent.parent
 WORKER_SWEEP = (1, 2, 4, 8)
 RANKS = 4
-SCHEMA = 2
+#: Payload layout version.  3 adds the versioned per-stage telemetry
+#: section (``telemetry_schema`` + per-scenario ``stages``).
+SCHEMA = 3
 
 
 def bench_config(quick: bool) -> DLRMConfig:
@@ -166,6 +174,24 @@ def run_scenario(
     return steps / elapsed, state, min(workers, os.cpu_count() or workers)
 
 
+def traced_stages(cfg: DLRMConfig, storage: str, distributed: bool, steps: int = 2) -> dict:
+    """Per-stage breakdown of a short traced run (thread backend,
+    sequential pool).  Shares are wall-clock and therefore noisy; the CI
+    gate only flags large share shifts, never absolute times."""
+    set_tracer(Tracer(proc="main"))
+    try:
+        with pooled(1):
+            trainer = build_trainer(cfg, storage, distributed)
+            trainer.fit(steps)
+            spans = trainer.drain_trace_spans()
+            close = getattr(trainer, "close", None)
+            if close is not None:
+                close()
+    finally:
+        set_tracer(None)
+    return stage_breakdown(spans)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="small shapes (CI smoke)")
@@ -240,11 +266,13 @@ def main() -> int:
                     )
                     for w in WORKER_SWEEP
                 }
+            entry["stages"] = traced_stages(cfg, storage, distributed)
             results[name] = entry
 
     payload = {
         "bench": "train_e2e",
         "schema": SCHEMA,
+        "telemetry_schema": TELEMETRY_SCHEMA,
         "quick": bool(args.quick),
         "steps": steps,
         "warmup": args.warmup,

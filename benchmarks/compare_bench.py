@@ -10,7 +10,14 @@ the baselines committed at the repo root.  The gate **fails** on
 * a >30% ``steps_per_s`` regression in any train-e2e cell present in
   both files, **when the fresh run's cpu_count matches the baseline's**
   (throughput on a different core count is not comparable; the gate
-  notes the skip instead).
+  notes the skip instead);
+* a ``telemetry_schema`` mismatch -- the baseline carries a telemetry
+  version and the fresh payload is missing it or disagrees (trace
+  consumers would silently misread the per-stage sections); and
+* a per-stage share blow-up at matching shapes: any stage that held
+  >=5% of step time in the baseline growing its share by more than 15
+  percentage points (absolute times don't travel across runners, but
+  the *shape* of the breakdown does).
 
 Speedup deltas and the thread-vs-process comparison are always posted:
 a markdown summary is appended to ``$GITHUB_STEP_SUMMARY`` when set
@@ -35,6 +42,12 @@ import sys
 from pathlib import Path
 
 MAX_REGRESSION = 0.30
+#: Stage-share gate: only stages holding at least this share of step
+#: time in the baseline are gated ...
+MIN_GATED_SHARE = 0.05
+#: ... and they fail only when their fresh share grows by more than
+#: this many absolute percentage points (expressed as a fraction).
+MAX_SHARE_GROWTH = 0.15
 
 
 def _load(path: str | Path) -> dict:
@@ -147,6 +160,61 @@ def check_hotpath_regressions(
     return failures, notes
 
 
+def check_telemetry_schema(baseline: dict, fresh: dict) -> tuple[list[str], list[str]]:
+    """The fresh payload must speak the same telemetry schema as the
+    baseline.  Baselines predating telemetry (schema < 3) make no claim,
+    so the gate notes the skip instead of failing."""
+    base_ver = baseline.get("telemetry_schema")
+    if base_ver is None:
+        return [], ["telemetry gate skipped: baseline carries no telemetry_schema"]
+    fresh_ver = fresh.get("telemetry_schema")
+    if fresh_ver != base_ver:
+        return [
+            f"train_e2e: telemetry_schema mismatch: baseline v{base_ver}, "
+            f"fresh {'v' + str(fresh_ver) if fresh_ver is not None else 'missing'} "
+            "-- per-stage sections are not comparable (ratchet the baseline "
+            "deliberately if the bump is intentional)"
+        ], []
+    return [], [f"telemetry schema v{base_ver} matches"]
+
+
+def check_stage_regressions(baseline: dict, fresh: dict) -> tuple[list[str], list[str]]:
+    """(failures, notes) for per-stage share blow-ups.
+
+    Shares travel across runners better than absolute times, but only
+    between runs of the same shapes (matching ``quick``).  A stage that
+    held >= MIN_GATED_SHARE of step time in the baseline fails if its
+    fresh share grew by more than MAX_SHARE_GROWTH absolute."""
+    notes: list[str] = []
+    if fresh.get("quick") != baseline.get("quick"):
+        notes.append(
+            "stage-share gate skipped: quick/full shapes differ between "
+            "fresh and baseline"
+        )
+        return [], notes
+    failures: list[str] = []
+    compared = 0
+    for scenario, base_entry in baseline.get("results", {}).items():
+        base_stages = (base_entry.get("stages") or {}).get("stages", {})
+        fresh_stages = (
+            (fresh.get("results", {}).get(scenario, {}).get("stages") or {})
+        ).get("stages", {})
+        for name, base_stage in base_stages.items():
+            base_share = base_stage.get("share", 0.0)
+            if base_share < MIN_GATED_SHARE:
+                continue
+            compared += 1
+            fresh_share = fresh_stages.get(name, {}).get("share", 0.0)
+            if fresh_share > base_share + MAX_SHARE_GROWTH:
+                failures.append(
+                    f"train_e2e: {scenario} stage '{name}' share grew "
+                    f"{base_share:.1%} -> {fresh_share:.1%} "
+                    f"(>{MAX_SHARE_GROWTH:.0%} absolute growth)"
+                )
+    notes.append(f"stage-share gate compared {compared} gated stages")
+    return failures, notes
+
+
 def train_summary_md(baseline: dict, fresh: dict) -> str:
     """Markdown: thread-vs-process per scenario + deltas vs baseline."""
     lines = [
@@ -205,6 +273,12 @@ def main(argv=None) -> int:
         if args.train_baseline is not None and args.train_baseline.exists():
             baseline = _load(args.train_baseline)
             f, n = check_train_regressions(baseline, fresh, args.max_regression)
+            failures += f
+            notes += n
+            f, n = check_telemetry_schema(baseline, fresh)
+            failures += f
+            notes += n
+            f, n = check_stage_regressions(baseline, fresh)
             failures += f
             notes += n
             summary_parts.append(train_summary_md(baseline, fresh))

@@ -9,6 +9,8 @@ Usage::
     python -m repro.cli fig16 --epoch-batches 40 --eval-points 10
     python -m repro.cli iteration --config mlperf --ranks 16 --backend ccl
     python -m repro.cli train --spec spec.json --checkpoint run.npz --workers 4
+    python -m repro.cli train --spec spec.json --backend process --workers 2 --trace out.json
+    python -m repro.cli trace run.jsonl --chrome run_trace.json
     python -m repro.cli eval --checkpoint run.npz
     python -m repro.cli serve --checkpoint run.npz
 
@@ -148,6 +150,26 @@ def _build_parser() -> argparse.ArgumentParser:
     tr.add_argument(
         "--checkpoint", metavar="NPZ", help="write the final checkpoint here"
     )
+    tr.add_argument(
+        "--trace", metavar="JSON", default=None,
+        help="record wall-clock pipeline spans and write a Chrome "
+        "trace_event file here (open in Perfetto / chrome://tracing); "
+        "under the process backend the timeline merges every worker, "
+        "rank-attributed by process lane",
+    )
+    tr.add_argument(
+        "--trace-jsonl", metavar="JSONL", default=None,
+        help="also/instead write the raw span records as versioned JSONL "
+        "(the lossless format 'repro trace' reads back)",
+    )
+    tc = sub.add_parser(
+        "trace", help="inspect a trace JSONL: per-stage table, Chrome export"
+    )
+    tc.add_argument("jsonl", metavar="JSONL", help="a --trace-jsonl output file")
+    tc.add_argument(
+        "--chrome", metavar="JSON", default=None,
+        help="convert to a Chrome trace_event file",
+    )
     ev = sub.add_parser("eval", help="evaluate a repro.train checkpoint")
     ev.add_argument("--checkpoint", required=True, metavar="NPZ")
     ev.add_argument("--batch-size", type=int, default=2048)
@@ -240,38 +262,84 @@ def _dispatch(args: argparse.Namespace) -> str:
             from repro.exec import set_pool_workers
 
             set_pool_workers(args.workers)
+        tracing = bool(args.trace or args.trace_jsonl)
+        if tracing:
+            from repro.obs import Tracer, set_tracer
+
+            # Installed before the trainer is built: the process backend
+            # captures the switch at executor construction to decide
+            # whether workers install their own tracers.
+            set_tracer(Tracer(proc="main"))
         overrides = (
             {"backend": args.backend, "workers": args.workers} if distributed else {}
         )
-        if ckpt is not None:
-            cls = DistributedTrainer if distributed else Trainer
-            trainer = cls.from_checkpoint(ckpt, callbacks=[timer], **overrides)
-        elif distributed:
-            trainer = DistributedTrainer.from_spec(spec, callbacks=[timer], **overrides)
-        else:
-            trainer = make_trainer(spec, callbacks=[timer])
         try:
-            start = trainer.step
-            trainer.fit(args.steps)
-            metrics = trainer.evaluate()
-            steps_per_s = (
-                len(timer.times) / timer.total_s if timer.total_s > 0 else float("nan")
-            )
-            row = {
-                "run": spec.name,
-                "steps": trainer.step - start,
-                "global_step": trainer.step,
-                "final_loss": trainer.losses[-1] if trainer.losses else float("nan"),
-                "steps_per_s": steps_per_s,
-                "rows_per_s": steps_per_s * trainer.batch_size,
-                **metrics,
-            }
-            out = format_table([row], title=f"Training run '{spec.name}'")
-            if args.checkpoint:
-                trainer.save_checkpoint(args.checkpoint)
-                out += f"\n\ncheckpoint written to {args.checkpoint}"
+            if ckpt is not None:
+                cls = DistributedTrainer if distributed else Trainer
+                trainer = cls.from_checkpoint(ckpt, callbacks=[timer], **overrides)
+            elif distributed:
+                trainer = DistributedTrainer.from_spec(
+                    spec, callbacks=[timer], **overrides
+                )
+            else:
+                trainer = make_trainer(spec, callbacks=[timer])
+            try:
+                start = trainer.step
+                trainer.fit(args.steps)
+                metrics = trainer.evaluate()
+                steps_per_s = (
+                    len(timer.times) / timer.total_s
+                    if timer.total_s > 0
+                    else float("nan")
+                )
+                row = {
+                    "run": spec.name,
+                    "steps": trainer.step - start,
+                    "global_step": trainer.step,
+                    "final_loss": trainer.losses[-1] if trainer.losses else float("nan"),
+                    "steps_per_s": steps_per_s,
+                    "rows_per_s": steps_per_s * trainer.batch_size,
+                    **metrics,
+                }
+                out = format_table([row], title=f"Training run '{spec.name}'")
+                out += "\n\n" + timer.summary()
+                if tracing:
+                    from repro.obs import stage_table, write_chrome_trace, write_jsonl
+
+                    spans = trainer.drain_trace_spans()
+                    out += "\n\n" + format_table(
+                        stage_table(spans), title="Per-stage wall-clock breakdown"
+                    )
+                    if args.trace:
+                        n = write_chrome_trace(spans, args.trace)
+                        out += f"\n\ntrace: {n} spans written to {args.trace}"
+                    if args.trace_jsonl:
+                        n = write_jsonl(spans, args.trace_jsonl)
+                        out += f"\ntrace: {n} spans written to {args.trace_jsonl}"
+                if args.checkpoint:
+                    trainer.save_checkpoint(args.checkpoint)
+                    out += f"\n\ncheckpoint written to {args.checkpoint}"
+            finally:
+                trainer.close()
         finally:
-            trainer.close()
+            if tracing:
+                set_tracer(None)
+        return out
+    if name == "trace":
+        from repro.obs import read_jsonl, stage_table, write_chrome_trace
+
+        _require_file(args.jsonl, "repro trace")
+        header, spans = read_jsonl(args.jsonl)
+        out = format_table(
+            stage_table(spans),
+            title=(
+                f"Per-stage breakdown of {args.jsonl} "
+                f"({header['spans']} spans, schema v{header['telemetry_schema']})"
+            ),
+        )
+        if args.chrome:
+            n = write_chrome_trace(spans, args.chrome)
+            out += f"\n\n{n} spans converted to Chrome trace {args.chrome}"
         return out
     if name == "eval":
         from repro.core.metrics import accuracy, log_loss, roc_auc

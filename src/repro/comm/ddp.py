@@ -19,6 +19,8 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro.obs.tracer import trace
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.parallel.cluster import CollectiveHandle, SimCluster
 
@@ -95,9 +97,11 @@ class DistributedDataParallelReducer:
         # run concurrently on the worker pool -- same buffers, same
         # charges, in any schedule.
         def _pack(r: int) -> np.ndarray:
-            flat = np.concatenate(
-                [np.asarray(g, dtype=np.float32).ravel() for g in grads_for(r)]
-            )
+            with trace(f"comm.{op}.framework", rank=r) as sp:
+                flat = np.concatenate(
+                    [np.asarray(g, dtype=np.float32).ravel() for g in grads_for(r)]
+                )
+                sp.add(bytes=flat.nbytes)
             t = cluster.cost.copy_time(2.0 * flat.nbytes, cores=cluster.compute_cores)
             cluster.clocks[r].advance(t)
             cluster.profilers[r].add(f"comm.{op}.framework", t)
@@ -112,11 +116,12 @@ class DistributedDataParallelReducer:
         # here in lockstep -- same category, same magnitude).  Each rank
         # writes only its own gradient arrays: concurrent-safe.
         def _unpack(r: int) -> None:
-            offset = 0
-            for g in grads_for(r):
-                n = g.size
-                g[...] = summed[r][offset : offset + n].reshape(g.shape)
-                offset += n
+            with trace(f"comm.{op}.framework", rank=r, bytes=flats[r].nbytes):
+                offset = 0
+                for g in grads_for(r):
+                    n = g.size
+                    g[...] = summed[r][offset : offset + n].reshape(g.shape)
+                    offset += n
             t = cluster.cost.copy_time(2.0 * flats[r].nbytes, cores=cluster.compute_cores)
             cluster.clocks[r].advance(t)
             cluster.profilers[r].add(f"comm.{op}.framework", t)

@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.hw.network import CollectiveCost
+from repro.obs.tracer import trace
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.parallel.cluster import CollectiveHandle, SimCluster
@@ -66,10 +67,14 @@ class ExchangeStrategy(ABC):
         n_ranks: int,
     ) -> list[dict[int, np.ndarray]]:
         out: list[dict[int, np.ndarray]] = [{} for _ in range(n_ranks)]
-        for t, owner in enumerate(owners):
-            buf = emb_out[owner][t]
-            for r in range(n_ranks):
-                out[r][t] = _slice_for_rank(buf, r, n_ranks).copy()
+        with trace("comm.alltoall.framework") as sp:
+            moved = 0
+            for t, owner in enumerate(owners):
+                buf = emb_out[owner][t]
+                moved += buf.nbytes
+                for r in range(n_ranks):
+                    out[r][t] = _slice_for_rank(buf, r, n_ranks).copy()
+            sp.add(bytes=moved)
         return out
 
     def _redistribute_backward(
@@ -79,10 +84,12 @@ class ExchangeStrategy(ABC):
         n_ranks: int,
     ) -> list[dict[int, np.ndarray]]:
         grads: list[dict[int, np.ndarray]] = [{} for _ in range(n_ranks)]
-        for t, owner in enumerate(owners):
-            grads[owner][t] = np.concatenate(
-                [demb[r][t] for r in range(n_ranks)], axis=0
-            )
+        with trace("comm.alltoall.framework") as sp:
+            for t, owner in enumerate(owners):
+                grads[owner][t] = np.concatenate(
+                    [demb[r][t] for r in range(n_ranks)], axis=0
+                )
+            sp.add(bytes=sum(g.nbytes for d in grads for g in d.values()))
         return grads
 
     # -- strategy-specific transfer cost ------------------------------------

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.bf16 import bf16_to_fp32, combine_fp32, split_fp32, truncate_lo_bits
+from repro.obs.tracer import trace
 from repro.kernels.segment import (
     aggregate_bag_duplicates,
     aggregate_duplicates,
@@ -217,7 +218,8 @@ class EmbeddingBag:
     def forward(self, indices: np.ndarray, offsets: np.ndarray) -> np.ndarray:
         """Alg. 1: ``Y[N, E]`` with ``Y[n] = sum over bag n of W[I[s]]``."""
         indices, offsets = self._check_lookup(indices, offsets)
-        return segment_sum(self.gather(indices), offsets)
+        with trace("embedding.gather", rows=indices.shape[0]):
+            return segment_sum(self.gather(indices), offsets)
 
     def backward(
         self, grad_out: np.ndarray, indices: np.ndarray, offsets: np.ndarray

@@ -26,6 +26,7 @@ from repro.core.mlp import MLP, sigmoid
 from repro.core.optim import SGD
 from repro.core.param import Parameter
 from repro.core.update import uses_fused_dispatch
+from repro.obs.tracer import trace
 from repro.util import rng_from
 
 
@@ -161,7 +162,8 @@ class DLRM:
         embedding alltoall with exactly this compute window -- the only
         overlap available to the alltoall (paper Sect. VI-D).
         """
-        return self.bottom.forward(batch.dense)
+        with trace("mlp.gemm.fwd", rows=batch.dense.shape[0]):
+            return self.bottom.forward(batch.dense)
 
     def top_forward(self, x_bottom: np.ndarray, emb_out: dict[int, np.ndarray]) -> np.ndarray:
         """Interaction + Top MLP, given all S embedding outputs."""
@@ -169,8 +171,9 @@ class DLRM:
         if missing:
             raise ValueError(f"missing embedding outputs for tables {missing}")
         embs = [emb_out[t] for t in range(self.cfg.num_tables)]
-        r = self.interaction.forward(x_bottom, embs)
-        logits = self.top.forward(r)
+        with trace("mlp.gemm.fwd", rows=x_bottom.shape[0]):
+            r = self.interaction.forward(x_bottom, embs)
+            logits = self.top.forward(r)
         self._logits = logits
         return logits
 
@@ -217,12 +220,14 @@ class DLRM:
     def top_backward(self, dlogits: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
         """Top MLP + interaction backward; returns (d bottom-output,
         per-table embedding-output gradients)."""
-        dr = self.top.backward(dlogits)
-        return self.interaction.backward(dr)
+        with trace("mlp.gemm.bwd", rows=dlogits.shape[0]):
+            dr = self.top.backward(dlogits)
+            return self.interaction.backward(dr)
 
     def bottom_backward(self, ddense: np.ndarray) -> np.ndarray:
         """Bottom MLP backward (weight grads accumulate into parameters)."""
-        return self.bottom.backward(ddense)
+        with trace("mlp.gemm.bwd", rows=ddense.shape[0]):
+            return self.bottom.backward(ddense)
 
     def dense_backward(self, dlogits: np.ndarray, batch: Batch) -> list[np.ndarray]:
         """Top MLP + interaction + Bottom MLP backward; returns the
@@ -252,9 +257,11 @@ class DLRM:
 
     def apply_updates(self, opt: SGD) -> None:
         """Dense step + sparse step for every owned table."""
-        opt.step_dense(self.parameters())
+        with trace("update.dense"):
+            opt.step_dense(self.parameters())
         for t, grad in self.sparse_grads.items():
-            opt.step_sparse(self.tables[t], grad)
+            with trace("update.sparse", rows=grad.nnz):
+                opt.step_sparse(self.tables[t], grad)
         self.sparse_grads.clear()
 
     def train_step(self, batch: Batch, opt: SGD, normalizer: float | None = None) -> float:
@@ -277,11 +284,13 @@ class DLRM:
         dlogits = self.loss_fn.backward()
         dembs = self.dense_backward(dlogits, batch)
         self.sparse_grads.clear()
-        opt.step_dense(self.parameters())
+        with trace("update.dense"):
+            opt.step_dense(self.parameters())
         for t in self.table_ids:
-            strategy.apply_fused(
-                self.tables[t], dembs[t], batch.indices[t], batch.offsets[t], opt.lr
-            )
+            with trace("update.sparse", rows=len(batch.indices[t])):
+                strategy.apply_fused(
+                    self.tables[t], dembs[t], batch.indices[t], batch.offsets[t], opt.lr
+                )
         return loss
 
     def predict_proba(self, batch: Batch) -> np.ndarray:

@@ -58,12 +58,18 @@ import numpy as np
 
 from repro.exec.pool import WorkerPool
 from repro.kernels.threads import static_partition
+from repro.obs.tracer import Tracer, drain_current, enabled as trace_enabled, set_tracer
 
 _WORKER_ENV = "_REPRO_MP_WORKER"
 
 #: Fallback mailbox capacity override (MiB), for models whose phase
 #: payloads outgrow the automatic estimate.
 _MAILBOX_ENV = "REPRO_MP_MAILBOX_MB"
+
+#: Trace-mailbox capacity override (MiB): one drained span batch per
+#: worker must fit (a span pickles to ~200 bytes).
+_OBS_MAILBOX_ENV = "REPRO_OBS_MAILBOX_MB"
+_DEFAULT_OBS_MAILBOX_MB = 16
 
 #: Parent <-> worker round-trip timeout (seconds).
 _TIMEOUT_ENV = "REPRO_MP_TIMEOUT"
@@ -429,6 +435,9 @@ class ProcessRecipe:
     dataset: Any
     batch_size: int
     prefetch_depth: int = 1
+    #: Install a wall-clock tracer in each worker (captured from the
+    #: parent's ``repro.obs`` switch at executor construction).
+    trace: bool = False
 
 
 @dataclass
@@ -477,6 +486,7 @@ def _worker_main(
     barrier,
     mailbox_names: list[str],
     arena_specs: dict[int, _ArenaSpec],
+    trace_name: str | None = None,
 ) -> None:
     os.environ[_WORKER_ENV] = "1"
     _pin_to_cores(worker_index, n_workers)
@@ -494,8 +504,14 @@ def _worker_main(
 
     mailboxes: list[ShmMailbox] = []
     arenas: dict[int, tuple[ShmArena, ShmArena]] = {}
+    trace_box: ShmMailbox | None = None
     lo, hi = rank_range
     local_ranks = range(lo, hi)
+    if recipe.trace:
+        # Rank attribution of the merged timeline: every span drained
+        # from this process carries the worker's rank range as its
+        # Perfetto process-lane label.
+        set_tracer(Tracer(proc=f"worker{worker_index}:ranks{lo}-{hi - 1}"))
 
     def _abort_and_exit() -> None:
         # Wake any peer stuck at the barrier so orphans reap fast.
@@ -506,6 +522,8 @@ def _worker_main(
 
     try:
         mailboxes = [ShmMailbox.attach(name) for name in mailbox_names]
+        if trace_name is not None:
+            trace_box = ShmMailbox.attach(trace_name)
         transport = WorkerTransport(
             worker_index, barrier, mailboxes, timeout=_barrier_timeout()
         )
@@ -585,6 +603,14 @@ def _worker_main(
                                 opt_arena.read(), model.parameters(), model.tables
                             )
                     conn.send(("ok", None))
+                elif cmd == "trace":
+                    # Parent only asks when it created the trace
+                    # mailboxes (tracing was on at executor build).
+                    _, seq = msg
+                    spans = drain_current()
+                    assert trace_box is not None
+                    trace_box.publish(spans, seq)
+                    conn.send(("ok", len(spans)))
                 elif cmd == "clocks":
                     conn.send(("ok", cluster.snapshot()))
                 elif cmd == "ping":
@@ -602,11 +628,15 @@ def _worker_main(
                     pass
                 return
     finally:
+        if recipe.trace:
+            set_tracer(None)
         for model_arena, opt_arena in arenas.values():
             model_arena.close()
             opt_arena.close()
         for box in mailboxes:
             box.close()
+        if trace_box is not None:
+            trace_box.close()
         try:
             conn.close()
         except OSError:  # pragma: no cover
@@ -687,8 +717,13 @@ class ProcessRankExecutor:
         self._procs: list[mp.process.BaseProcess] = []
         self._conns: list[Any] = []
         self._mailboxes: list[ShmMailbox] = []
+        self._trace_boxes: list[ShmMailbox] = []
         self._model_arenas: dict[int, ShmArena] = {}
         self._opt_arenas: dict[int, ShmArena] = {}
+        #: Captured once: workers install a tracer iff the parent had one
+        #: at build time (the global switch is per process).
+        self._trace = trace_enabled()
+        self._trace_seq = 0
 
         self.owners: list[int] = list(dist.owners)
         #: Consolidation key split, computed once from the parent replica
@@ -713,6 +748,7 @@ class ProcessRankExecutor:
             dataset=dataset,
             batch_size=batch_size,
             prefetch_depth=prefetch_depth,
+            trace=self._trace,
         )
         ranges = static_partition(n_ranks, self.n_workers)
         capacity = self._mailbox_capacity(dist, batch_size, eval_size_hint, ranges)
@@ -735,6 +771,19 @@ class ProcessRankExecutor:
                 self._mailboxes = [ShmMailbox.create(n, capacity) for n in names]
             else:
                 names = []
+            if self._trace:
+                # One drain mailbox per worker (1-worker fleets too):
+                # drained span batches come back through shared memory,
+                # never the pipe.
+                tcap = int(
+                    os.environ.get(_OBS_MAILBOX_ENV, _DEFAULT_OBS_MAILBOX_MB)
+                ) << 20
+                trace_names = [_short_name("t", i) for i in range(self.n_workers)]
+                self._trace_boxes = [
+                    ShmMailbox.create(n, tcap) for n in trace_names
+                ]
+            else:
+                trace_names = [None] * self.n_workers
             self._barrier = ctx.Barrier(self.n_workers)
             for i, (lo, hi) in enumerate(ranges):
                 parent_conn, child_conn = ctx.Pipe()
@@ -750,6 +799,7 @@ class ProcessRankExecutor:
                         self._barrier,
                         names,
                         {r: arena_specs[r] for r in range(lo, hi)},
+                        trace_names[i],
                     ),
                     daemon=True,
                     name=f"repro-mp-{i}",
@@ -880,6 +930,30 @@ class ProcessRankExecutor:
             raise RuntimeError(f"process ranks diverged: clocks {snapshots} differ")
         return snapshots[0]
 
+    def drain_traces(self) -> list[dict[str, Any]]:
+        """Every worker's tracer spans since the last drain, merged into
+        one timeline (``perf_counter_ns`` is machine-wide, so worker
+        timestamps are directly comparable with the parent's).
+
+        Spans travel through per-worker shared-memory trace mailboxes --
+        the same seqlock transport as phase payloads.  Returns ``[]``
+        when tracing was off at executor build, or after :meth:`close`.
+        """
+        if not self._trace or self._closed:
+            return []
+        self._trace_seq += 1
+        seq = self._trace_seq
+        counts = self._roundtrip(("trace", seq), "trace drain")
+        spans: list[dict[str, Any]] = []
+        for box, count in zip(self._trace_boxes, counts):
+            if count:
+                # Span records are plain dicts (no NumPy buffers), so
+                # the unpickle copies them out of the slot -- no
+                # zero-copy lifetime to respect.
+                spans.extend(box.read(seq))
+        spans.sort(key=lambda s: (s["ts"], s["depth"]))
+        return spans
+
     def worker_pids(self) -> list[int]:
         return [proc.pid for proc in self._procs if proc.pid is not None]
 
@@ -910,12 +984,13 @@ class ProcessRankExecutor:
         for arena in list(self._model_arenas.values()) + list(self._opt_arenas.values()):
             arena.close()
             arena.unlink()
-        for box in self._mailboxes:
+        for box in self._mailboxes + self._trace_boxes:
             box.close()
             box.unlink()
         self._model_arenas = {}
         self._opt_arenas = {}
         self._mailboxes = []
+        self._trace_boxes = []
 
     def __enter__(self) -> "ProcessRankExecutor":
         return self

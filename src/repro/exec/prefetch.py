@@ -30,6 +30,7 @@ from concurrent.futures import Future
 from typing import Callable, Generic, Sequence, TypeVar
 
 from repro.exec.pool import WorkerPool, get_pool
+from repro.obs.tracer import trace
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -70,17 +71,21 @@ class PrefetchLoader:
         """Indices currently scheduled ahead (introspection/tests)."""
         return sorted(self._pending)
 
+    def _synthesize(self, index: int):
+        """The traced synthesis call both the direct path and the pool
+        workers run (spans only observe; the bits are index-pure)."""
+        with trace("data.synthesis", rows=self.batch_size):
+            return self.dataset.batch(self.batch_size, index)
+
     def _schedule(self, index: int, pool: WorkerPool) -> None:
         if index not in self._pending:
-            self._pending[index] = pool.submit(
-                self.dataset.batch, self.batch_size, index
-            )
+            self._pending[index] = pool.submit(self._synthesize, index)
 
     def batch(self, index: int):
         """Deterministic batch ``index``; primes ``index+1..index+depth``."""
         pool = self._resolve_pool()
         if pool.effective_workers == 1:
-            return self.dataset.batch(self.batch_size, index)
+            return self._synthesize(index)
         future = self._pending.pop(index, None)
         # A miss (first call, or a jump after resume) also drops any
         # stale lookahead so the window re-centres on the new cursor.
@@ -89,7 +94,7 @@ class PrefetchLoader:
         for ahead in range(index + 1, index + 1 + self.depth):
             self._schedule(ahead, pool)
         if future is None:
-            return self.dataset.batch(self.batch_size, index)
+            return self._synthesize(index)
         return future.result()
 
 

@@ -37,6 +37,7 @@ from repro.hw.costmodel import CostModel
 from repro.hw.network import CollectiveCost, NetworkModel
 from repro.hw.spec import CLX_8280, SKX_8180, SocketSpec
 from repro.hw.topology import Topology, pruned_fat_tree, twisted_hypercube
+from repro.obs.tracer import trace
 from repro.perf.clock import VirtualClock
 from repro.perf.profiler import Profiler
 
@@ -73,6 +74,8 @@ class CollectiveHandle:
         clock = self.cluster.clocks[rank]
         exposed = max(0.0, self.completion[rank] - clock.now)
         clock.advance(exposed)
+        with trace(f"comm.{self.op}.wait", rank=rank) as sp:
+            sp.add(exposed_virtual_s=exposed)
         self.cluster.profilers[rank].add(f"comm.{self.op}.wait", exposed)
         self._waited.add(rank)
         self.cluster._inflight[rank].discard(self)

@@ -58,6 +58,7 @@ from repro.core.optim import SGD
 from repro.core.update import uses_fused_dispatch
 from repro.hw.cache import index_stats
 from repro.hw.costmodel import CostModel, GemmShape
+from repro.obs.tracer import trace
 from repro.parallel.cluster import SimCluster
 
 LOADER_MODES = ("none", "global", "sharded")
@@ -221,7 +222,8 @@ class DistributedDLRM:
         # wide pool, plain rank order otherwise -- same bits either way.
         def _embedding_fwd(r: int) -> dict[int, np.ndarray]:
             model = self.models[r]
-            out = model.embedding_forward(global_batch)
+            with trace("phase.embedding.fwd", rank=r):
+                out = model.embedding_forward(global_batch)
             lookups = sum(len(global_batch.indices[t]) for t in model.table_ids)
             t = cm.embedding_forward_time(
                 lookups, len(model.table_ids) * gn, self.row_bytes,
@@ -245,34 +247,35 @@ class DistributedDLRM:
             r: int,
         ) -> tuple[float, np.ndarray, dict[int, np.ndarray]]:
             model = self.models[r]
-            x_bottom = model.bottom_forward(shards[r])
-            t = mlp_forward_time(cm, cfg.bottom_layer_shapes(), ln, impl, cores)
-            cluster.charge(r, t, "compute.mlp.bottom.fwd")
-            ex_fwd.wait(r)
-            logits = model.top_forward(x_bottom, emb_slices[r])
-            cluster.charge(
-                r,
-                cm.interaction_time(ln, cfg.num_vectors, cfg.embedding_dim, cores),
-                "compute.interaction.fwd",
-            )
-            cluster.charge(
-                r,
-                mlp_forward_time(cm, cfg.top_layer_shapes(), ln, impl, cores),
-                "compute.mlp.top.fwd",
-            )
-            loss = model.loss_fn.forward(logits, shards[r].labels, normalizer=gn)
-            cluster.charge(r, cm.elementwise_time(ln * 16, cores), "compute.loss")
-            dd, de = model.top_backward(model.loss_fn.backward())
-            cluster.charge(
-                r,
-                mlp_backward_time(cm, cfg.top_layer_shapes(), ln, impl, cores),
-                "compute.mlp.top.bwd",
-            )
-            cluster.charge(
-                r,
-                cm.interaction_time(ln, cfg.num_vectors, cfg.embedding_dim, cores),
-                "compute.interaction.bwd",
-            )
+            with trace("phase.fwd_loss_top_bwd", rank=r):
+                x_bottom = model.bottom_forward(shards[r])
+                t = mlp_forward_time(cm, cfg.bottom_layer_shapes(), ln, impl, cores)
+                cluster.charge(r, t, "compute.mlp.bottom.fwd")
+                ex_fwd.wait(r)
+                logits = model.top_forward(x_bottom, emb_slices[r])
+                cluster.charge(
+                    r,
+                    cm.interaction_time(ln, cfg.num_vectors, cfg.embedding_dim, cores),
+                    "compute.interaction.fwd",
+                )
+                cluster.charge(
+                    r,
+                    mlp_forward_time(cm, cfg.top_layer_shapes(), ln, impl, cores),
+                    "compute.mlp.top.fwd",
+                )
+                loss = model.loss_fn.forward(logits, shards[r].labels, normalizer=gn)
+                cluster.charge(r, cm.elementwise_time(ln * 16, cores), "compute.loss")
+                dd, de = model.top_backward(model.loss_fn.backward())
+                cluster.charge(
+                    r,
+                    mlp_backward_time(cm, cfg.top_layer_shapes(), ln, impl, cores),
+                    "compute.mlp.top.bwd",
+                )
+                cluster.charge(
+                    r,
+                    cm.interaction_time(ln, cfg.num_vectors, cfg.embedding_dim, cores),
+                    "compute.interaction.bwd",
+                )
             return loss, dd, {t: de[t] for t in range(cfg.num_tables)}
 
         fwd_bwd = self._map_ranks(_fwd_loss_top_bwd)
@@ -293,7 +296,8 @@ class DistributedDLRM:
 
         # 9-10. Bottom MLP backward, then its allreduce.
         def _bottom_bwd(r: int) -> None:
-            self.models[r].bottom_backward(ddense[r])
+            with trace("phase.bottom.bwd", rank=r):
+                self.models[r].bottom_backward(ddense[r])
             cluster.charge(
                 r,
                 mlp_backward_time(cm, cfg.bottom_layer_shapes(), ln, impl, cores),
@@ -310,50 +314,54 @@ class DistributedDLRM:
         # issued above, so no barrier is needed between 11 and 12.
         def _updates(r: int) -> None:
             model = self.models[r]
-            ex_bwd.wait(r)
-            opt = self.optimizers[r]
-            strategy = opt.strategy
-            # Same dispatch gate as DLRM.train_step (one shared
-            # predicate): with the fused strategy the bag-level exchange
-            # gradients feed each table update directly -- Alg. 2's
-            # row-per-lookup gradient is never materialised.  Charges
-            # are identical either way; so are the table bits (the
-            # fused kernel's pinned contract).
-            fused = uses_fused_dispatch(opt)
-            strategy_key = self._update_strategy_key(r)
-            for t in model.table_ids:
-                if not fused:
-                    model.embedding_backward(grads_to_owner[r][t], t, global_batch)
-                lookups = len(global_batch.indices[t])
-                cluster.charge(
-                    r,
-                    cm.embedding_backward_time(lookups, gn, self.row_bytes, 1, cores),
-                    "compute.embedding.bwd",
-                )
-                stats = index_stats(
-                    global_batch.indices[t], cfg.table_rows[t], threads=cores
-                )
-                cluster.charge(
-                    r,
-                    cm.embedding_update_time(strategy_key, stats, self.row_bytes, cores),
-                    "update.sparse",
-                )
-                if fused:
-                    strategy.apply_fused(
-                        model.tables[t],
-                        grads_to_owner[r][t],
-                        global_batch.indices[t],
-                        global_batch.offsets[t],
-                        opt.lr,
+            with trace("phase.updates", rank=r):
+                ex_bwd.wait(r)
+                opt = self.optimizers[r]
+                strategy = opt.strategy
+                # Same dispatch gate as DLRM.train_step (one shared
+                # predicate): with the fused strategy the bag-level exchange
+                # gradients feed each table update directly -- Alg. 2's
+                # row-per-lookup gradient is never materialised.  Charges
+                # are identical either way; so are the table bits (the
+                # fused kernel's pinned contract).
+                fused = uses_fused_dispatch(opt)
+                strategy_key = self._update_strategy_key(r)
+                for t in model.table_ids:
+                    if not fused:
+                        model.embedding_backward(grads_to_owner[r][t], t, global_batch)
+                    lookups = len(global_batch.indices[t])
+                    cluster.charge(
+                        r,
+                        cm.embedding_backward_time(lookups, gn, self.row_bytes, 1, cores),
+                        "compute.embedding.bwd",
                     )
-            for t, grad in model.sparse_grads.items():
-                opt.step_sparse(model.tables[t], grad)
-            model.sparse_grads.clear()
-            ar_top.wait(r)
-            ar_bottom.wait(r)
-            dense_bytes = sum(p.nbytes for p in model.parameters()) * 3
-            opt.step_dense(model.parameters())
-            cluster.charge(r, cm.elementwise_time(dense_bytes, cores), "update.dense")
+                    stats = index_stats(
+                        global_batch.indices[t], cfg.table_rows[t], threads=cores
+                    )
+                    cluster.charge(
+                        r,
+                        cm.embedding_update_time(strategy_key, stats, self.row_bytes, cores),
+                        "update.sparse",
+                    )
+                    if fused:
+                        with trace("update.sparse", rank=r, rows=lookups):
+                            strategy.apply_fused(
+                                model.tables[t],
+                                grads_to_owner[r][t],
+                                global_batch.indices[t],
+                                global_batch.offsets[t],
+                                opt.lr,
+                            )
+                for t, grad in model.sparse_grads.items():
+                    with trace("update.sparse", rank=r, rows=grad.nnz):
+                        opt.step_sparse(model.tables[t], grad)
+                model.sparse_grads.clear()
+                ar_top.wait(r)
+                ar_bottom.wait(r)
+                dense_bytes = sum(p.nbytes for p in model.parameters()) * 3
+                with trace("update.dense", rank=r):
+                    opt.step_dense(model.parameters())
+                cluster.charge(r, cm.elementwise_time(dense_bytes, cores), "update.dense")
 
         self._map_ranks(_updates)
         return global_loss

@@ -1,20 +1,61 @@
-"""Instrumentation: virtual clocks, per-category profilers, table output.
+"""Instrumentation: the repo's two profilers plus table output.
 
-Replaces the autograd profiling hooks the paper added to PyTorch's DDP
-and communication backends (Sect. IV-C): every charge lands in a
-hierarchical category ("comm.alltoall.wait", "compute.mlp.fwd", ...), and
-the report helpers aggregate them into the exact buckets of Figs. 10-15
-(Compute / Communication, and Framework vs. Wait per collective).
+Two complementary profilers coexist and answer different questions:
+
+* **Virtual-time** (:class:`Profiler` + :class:`VirtualClock`, this
+  package) -- deterministic *modelled* seconds charged per dot-separated
+  category ("comm.alltoall.wait", "compute.mlp.fwd", ...).  Replaces the
+  autograd profiling hooks the paper added to PyTorch's DDP and
+  communication backends (Sect. IV-C); the report helpers aggregate the
+  charges into the exact buckets of Figs. 10-15 (Compute /
+  Communication, and Framework vs. Wait per collective).  Bitwise
+  reproducible: a pure function of the charges, independent of the host.
+* **Wall-clock** (:mod:`repro.obs`) -- *measured* nanosecond spans of
+  the real execution paths (``data.synthesis``, ``embedding.gather``,
+  ``mlp.gemm.*``, ``update.*``, serve stages), recorded into per-thread
+  ring buffers, merged across the process backend's workers, and
+  exported as JSONL / Chrome ``trace_event`` files.  This is what you
+  look at when the *host* pipeline -- not the modelled cluster -- is the
+  bottleneck.
+
+The ``repro.obs`` surface is re-exported here so perf consumers find
+both profilers in one place.
 """
 
+from repro.obs import (
+    TELEMETRY_SCHEMA,
+    Tracer,
+    aggregate,
+    get_tracer,
+    merge_spans,
+    set_tracer,
+    stage_breakdown,
+    stage_table,
+    trace,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.perf.clock import VirtualClock
 from repro.perf.profiler import Profiler, COMM_BUCKETS
 from repro.perf.report import format_table, format_seconds
 
 __all__ = [
+    # virtual-time profiler
     "VirtualClock",
     "Profiler",
     "COMM_BUCKETS",
     "format_table",
     "format_seconds",
+    # wall-clock tracing (repro.obs re-exports)
+    "TELEMETRY_SCHEMA",
+    "Tracer",
+    "trace",
+    "get_tracer",
+    "set_tracer",
+    "aggregate",
+    "merge_spans",
+    "stage_breakdown",
+    "stage_table",
+    "write_chrome_trace",
+    "write_jsonl",
 ]

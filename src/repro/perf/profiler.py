@@ -1,13 +1,21 @@
-"""Hierarchical time-category accounting.
+"""Hierarchical *virtual-time* category accounting.
 
-Categories are dot-separated paths; the conventions used throughout the
-runtime are:
+This is the modelled-time half of the repo's profiling story: charges
+are deterministic seconds computed by the cost model, accumulated per
+dot-separated category.  The measured-time half -- wall-clock spans of
+the real execution paths -- lives in :mod:`repro.obs` (see
+:class:`repro.obs.Tracer`); the two deliberately share their category
+vocabulary so a virtual breakdown and a wall-clock stage table read
+side by side.
+
+Category conventions used throughout the runtime:
 
 * ``compute.*``            -- GEMMs, embedding kernels, elementwise ops
 * ``data.loader``          -- minibatch parsing
 * ``comm.<coll>.framework``-- flat-buffer packing / gradient averaging
 * ``comm.<coll>.wait``     -- exposed wait time of collective <coll>
 * ``update.*``             -- optimizer passes
+* ``serve.*``              -- serving-side batch service and queueing
 
 ``COMM_BUCKETS`` maps those onto the four stacked series of the paper's
 communication-breakdown plots (Figs. 11 and 14).

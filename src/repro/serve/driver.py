@@ -17,6 +17,7 @@ from repro.core.config import DLRMConfig, get_config
 from repro.data.synthetic import bounded_zipf
 from repro.exec.pool import get_pool
 from repro.exec.prefetch import PrefetchMap
+from repro.obs.tracer import trace
 from repro.parallel.cluster import SimCluster
 from repro.serve.batcher import MicroBatch, MicroBatcher, Request, StreamConfig, poisson_stream
 from repro.serve.replica import ReplicaSet, ServingResult
@@ -125,7 +126,9 @@ def run_serving(
         max_batch_samples=params.max_batch_samples,
         latency_budget_s=params.latency_budget_ms * 1e-3,
     )
-    batches = batcher.plan(stream)
+    with trace("serve.batcher", requests=len(stream)) as sp:
+        batches = batcher.plan(stream)
+        sp.add(batches=len(batches))
     cluster = SimCluster(params.replicas, platform=params.platform)
     cost = ServingCost(cfg, socket=cluster.socket, calib=cluster.calib)
     replicas = ReplicaSet(

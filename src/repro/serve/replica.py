@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.tracer import trace
 from repro.parallel.cluster import SimCluster
 from repro.serve.batcher import MicroBatch
 from repro.serve.cache import EmbeddingCache
@@ -148,18 +149,21 @@ class ReplicaSet:
         makespan = 0.0
         for mb in sorted(batches, key=lambda b: b.dispatch_time):
             busy = [c.now for c in cluster.clocks]
-            rank = self.router.pick(mb, busy)
+            with trace("serve.route"):
+                rank = self.router.pick(mb, busy)
             cache = self.caches[rank]
-            hits = misses = 0
-            for t, idx in enumerate(indices_for(mb)):
-                rep = cache.access(t, idx)
-                hits += rep.hits
-                misses += rep.misses
-            lookups = hits + misses
-            hit_rate = hits / lookups if lookups else 0.0
-            service = self.cost.batch_time(
-                mb.samples, total_lookups=lookups, hit_rate=hit_rate
-            )
+            with trace("serve.infer", rank=rank, rows=mb.samples) as sp:
+                hits = misses = 0
+                for t, idx in enumerate(indices_for(mb)):
+                    rep = cache.access(t, idx)
+                    hits += rep.hits
+                    misses += rep.misses
+                lookups = hits + misses
+                hit_rate = hits / lookups if lookups else 0.0
+                service = self.cost.batch_time(
+                    mb.samples, total_lookups=lookups, hit_rate=hit_rate
+                )
+                sp.add(cache_hits=hits, cache_misses=misses)
             clock = cluster.clocks[rank]
             start = max(mb.dispatch_time, clock.now)
             queued = start - mb.dispatch_time

@@ -225,9 +225,12 @@ class StepTimer(Callback):
     """Wall-clock profiler hook: per-step times and a summary.
 
     ``times`` holds one wall-time per executed step; ``mean_ms``/
-    ``total_s`` summarise.  (The simulated cluster has its own virtual
-    clocks; this measures the *host* loop, which is what you tune when
-    the trainer itself is the bottleneck.)
+    ``total_s``/``percentile_ms`` summarise, and :meth:`summary` renders
+    the distribution (p50/p95/p99) -- plus, when handed drained tracer
+    spans, the per-stage breakdown -- as printable lines.  (The
+    simulated cluster has its own virtual clocks; this measures the
+    *host* loop, which is what you tune when the trainer itself is the
+    bottleneck.)
     """
 
     def __init__(self) -> None:
@@ -249,3 +252,30 @@ class StepTimer(Callback):
     @property
     def mean_ms(self) -> float:
         return 1e3 * self.total_s / len(self.times) if self.times else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        """The ``q``-th percentile step time in ms (nearest-rank)."""
+        if not (0.0 <= q <= 100.0):
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.times:
+            return 0.0
+        ordered = sorted(self.times)
+        rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return 1e3 * ordered[rank]
+
+    def summary(self, spans: list[dict] | None = None) -> str:
+        """Printable step-time summary; pass drained tracer spans (e.g.
+        ``trainer.drain_trace_spans()``) to append the per-stage table."""
+        lines = [
+            f"steps: {len(self.times)}  total {self.total_s:.3f} s  "
+            f"mean {self.mean_ms:.3f} ms  "
+            f"p50 {self.percentile_ms(50):.3f} ms  "
+            f"p95 {self.percentile_ms(95):.3f} ms  "
+            f"p99 {self.percentile_ms(99):.3f} ms"
+        ]
+        if spans:
+            from repro.obs.aggregate import stage_table
+            from repro.perf.report import format_table
+
+            lines.append(format_table(stage_table(spans)))
+        return "\n".join(lines)

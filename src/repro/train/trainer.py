@@ -35,6 +35,8 @@ from repro.core.optim import SGD
 from repro.exec import EXEC_BACKENDS
 from repro.exec.mp import ProcessRankExecutor, in_worker_process
 from repro.exec.prefetch import PrefetchLoader
+from repro.obs.aggregate import merge_spans
+from repro.obs.tracer import drain_current, trace
 from repro.parallel.cluster import SimCluster
 from repro.parallel.hybrid import DistributedDLRM
 from repro.train.callbacks import (
@@ -165,7 +167,8 @@ class Trainer:
         while self.step < end and not self.should_stop:
             step = self.step
             self.callbacks.on_step_start(self, step)
-            loss = self._run_step(step)
+            with trace("train.step", rows=self.batch_size):
+                loss = self._run_step(step)
             self.losses.append(loss)
             self.step += 1
             self.callbacks.on_step_end(self, step, loss)
@@ -248,6 +251,12 @@ class Trainer:
         """Restore states and step into this trainer's live objects."""
         ckpt = restore(self.model, self.optimizer, ckpt)
         self.step = ckpt.step
+
+    def drain_trace_spans(self) -> list[dict]:
+        """Drain the process-wide tracer's spans (empty when tracing is
+        off).  The distributed trainer's override merges in the worker
+        processes' spans; call before :meth:`close`."""
+        return drain_current()
 
     def close(self) -> None:
         """Release backend resources (a no-op for in-process backends)."""
@@ -440,6 +449,12 @@ class DistributedTrainer(Trainer):
         if self._executor is not None:
             self._executor.load_state(ckpt.model_state, ckpt.opt_state or None)
         self.step = ckpt.step
+
+    def drain_trace_spans(self) -> list[dict]:
+        spans = drain_current()
+        if self._executor is not None:
+            return merge_spans(spans, self._executor.drain_traces())
+        return spans
 
     def close(self) -> None:
         if self._executor is not None:
