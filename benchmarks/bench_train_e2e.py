@@ -60,8 +60,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 WORKER_SWEEP = (1, 2, 4, 8)
 RANKS = 4
 #: Payload layout version.  3 adds the versioned per-stage telemetry
-#: section (``telemetry_schema`` + per-scenario ``stages``).
-SCHEMA = 3
+#: section (``telemetry_schema`` + per-scenario ``stages``).  4 adds the
+#: virtual-clock communication split (``virtual_comm`` per distributed
+#: scenario + ``exposed_comm_share`` per distributed cell) for the
+#: issue-as-ready bucketed allreduce; gated by ``compare_bench.py``.
+SCHEMA = 4
 
 
 def bench_config(quick: bool) -> DLRMConfig:
@@ -192,6 +195,32 @@ def traced_stages(cfg: DLRMConfig, storage: str, distributed: bool, steps: int =
     return stage_breakdown(spans)
 
 
+def virtual_comm(cfg: DLRMConfig, storage: str, steps: int = 2) -> dict:
+    """Hidden-vs-exposed communication split on the *virtual* clocks.
+
+    One short thread-backend run at pool width 1 -- the virtual clocks
+    are bitwise identical across backends and worker counts, so the split
+    holds for every cell of the scenario.  ``exposed_comm_share`` is the
+    fraction of total virtual rank-time spent stalled in collective
+    waits; ``hidden_s`` is transfer occupancy the schedule overlapped
+    with compute."""
+    with pooled(1):
+        trainer = build_trainer(cfg, storage, distributed=True)
+        trainer.fit(steps)
+        cluster = trainer.dist.cluster
+        exposed = sum(p.comm_time() for p in cluster.profilers)
+        total = sum(c.now for c in cluster.clocks)
+        transfer = cluster.network_busy_s
+    exposed_per_rank = exposed / cluster.n_ranks
+    return {
+        "steps": steps,
+        "exposed_comm_share": round(exposed / total, 4) if total else 0.0,
+        "exposed_wait_s": round(exposed_per_rank, 6),
+        "transfer_s": round(transfer, 6),
+        "hidden_s": round(max(0.0, transfer - exposed_per_rank), 6),
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="small shapes (CI smoke)")
@@ -224,6 +253,7 @@ def main() -> int:
             name = f"{mode}_{storage}"
             cells: dict[str, dict[str, dict]] = {b: {} for b in backends}
             base_rate, base_state = None, None
+            vcomm = virtual_comm(cfg, storage) if distributed else None
             for backend in backends:
                 for workers in WORKER_SWEEP:
                     rate, state, effective = run_scenario(
@@ -237,13 +267,18 @@ def main() -> int:
                     )
                     if not identical:
                         failures.append(f"{name}@{backend}/workers={workers}")
-                    cells[backend][str(workers)] = {
+                    cell = {
                         "steps_per_s": round(rate, 3),
                         "rows_per_s": round(rate * batch, 1),
                         "speedup": round(rate / base_rate, 2),
                         "effective_workers": effective,
                         "bit_identical": bool(identical),
                     }
+                    if vcomm is not None:
+                        # Virtual clocks are backend/worker-invariant:
+                        # the scenario split applies to every cell.
+                        cell["exposed_comm_share"] = vcomm["exposed_comm_share"]
+                    cells[backend][str(workers)] = cell
                     print(
                         f"{name:<22} {backend:<8} workers={workers}  "
                         f"{rate:7.3f} steps/s  {rate * batch:10.1f} rows/s  "
@@ -257,6 +292,8 @@ def main() -> int:
                 "ranks": RANKS if distributed else 1,
                 "backends": cells,
             }
+            if vcomm is not None:
+                entry["virtual_comm"] = vcomm
             if distributed:
                 entry["process_vs_thread"] = {
                     str(w): round(

@@ -17,7 +17,11 @@ the baselines committed at the repo root.  The gate **fails** on
 * a per-stage share blow-up at matching shapes: any stage that held
   >=5% of step time in the baseline growing its share by more than 15
   percentage points (absolute times don't travel across runners, but
-  the *shape* of the breakdown does).
+  the *shape* of the breakdown does); and
+* an exposed-communication regression: a distributed scenario whose
+  virtual-clock ``exposed_comm_share`` (schema 4) grows more than 10
+  percentage points over the baseline -- the overlap won by the
+  issue-as-ready bucketed allreduce is part of the perf contract.
 
 Speedup deltas and the thread-vs-process comparison are always posted:
 a markdown summary is appended to ``$GITHUB_STEP_SUMMARY`` when set
@@ -48,6 +52,13 @@ MIN_GATED_SHARE = 0.05
 #: ... and they fail only when their fresh share grows by more than
 #: this many absolute percentage points (expressed as a fraction).
 MAX_SHARE_GROWTH = 0.15
+#: Exposed-communication gate: a distributed scenario fails when its
+#: ``exposed_comm_share`` (virtual-clock stall fraction) grows by more
+#: than this many absolute percentage points over the baseline -- the
+#: overlap the issue-as-ready bucketed allreduce bought must not quietly
+#: erode.  Virtual clocks travel perfectly across runners, so no
+#: cpu_count matching is needed.
+MAX_EXPOSED_GROWTH = 0.10
 
 
 def _load(path: str | Path) -> dict:
@@ -215,6 +226,75 @@ def check_stage_regressions(baseline: dict, fresh: dict) -> tuple[list[str], lis
     return failures, notes
 
 
+def check_exposed_comm(baseline: dict, fresh: dict) -> tuple[list[str], list[str]]:
+    """(failures, notes) for exposed-comm share regressions.
+
+    Compares each distributed scenario's ``virtual_comm`` section
+    (schema >= 4).  Baselines predating the field make no claim: the
+    gate notes the skip instead of failing, so the first schema-4 run
+    can ratchet a baseline in."""
+    notes: list[str] = []
+    failures: list[str] = []
+    compared = 0
+    for scenario, base_entry in baseline.get("results", {}).items():
+        base_vc = base_entry.get("virtual_comm")
+        if base_vc is None or "exposed_comm_share" not in base_vc:
+            continue
+        fresh_vc = fresh.get("results", {}).get(scenario, {}).get("virtual_comm")
+        if fresh_vc is None:
+            failures.append(
+                f"train_e2e: {scenario} lost its virtual_comm section "
+                "(baseline carries an exposed-comm claim)"
+            )
+            continue
+        compared += 1
+        base_share = base_vc["exposed_comm_share"]
+        fresh_share = fresh_vc.get("exposed_comm_share", 1.0)
+        if fresh_share > base_share + MAX_EXPOSED_GROWTH:
+            failures.append(
+                f"train_e2e: {scenario} exposed-comm share regressed "
+                f"{base_share:.1%} -> {fresh_share:.1%} "
+                f"(>{MAX_EXPOSED_GROWTH:.0%} absolute growth: communication "
+                "the overlap used to hide is now stalling ranks)"
+            )
+    if compared:
+        notes.append(f"exposed-comm gate compared {compared} distributed scenarios")
+    else:
+        notes.append(
+            "exposed-comm gate skipped: baseline carries no virtual_comm sections"
+        )
+    return failures, notes
+
+
+def exposed_comm_md(baseline: dict, fresh: dict) -> str:
+    """Markdown: hidden-vs-exposed virtual communication per scenario."""
+    rows = []
+    for scenario, entry in fresh.get("results", {}).items():
+        vc = entry.get("virtual_comm")
+        if not vc:
+            continue
+        base_vc = baseline.get("results", {}).get(scenario, {}).get("virtual_comm", {})
+        base_share = base_vc.get("exposed_comm_share")
+        rows.append(
+            f"| {scenario} | {vc.get('hidden_s', 0.0) * 1e3:.3f} | "
+            f"{vc.get('exposed_wait_s', 0.0) * 1e3:.3f} | "
+            f"{vc.get('exposed_comm_share', 0.0):.1%} | "
+            f"{f'{base_share:.1%}' if base_share is not None else '--'} |"
+        )
+    if not rows:
+        return ""
+    return "\n".join(
+        [
+            "### Communication overlap (virtual clocks)",
+            "",
+            "| scenario | hidden ms/run | exposed ms/run | exposed share | baseline share |",
+            "|---|---|---|---|---|",
+            *rows,
+            "",
+        ]
+    )
+
+
 def train_summary_md(baseline: dict, fresh: dict) -> str:
     """Markdown: thread-vs-process per scenario + deltas vs baseline."""
     lines = [
@@ -281,10 +361,15 @@ def main(argv=None) -> int:
             f, n = check_stage_regressions(baseline, fresh)
             failures += f
             notes += n
+            f, n = check_exposed_comm(baseline, fresh)
+            failures += f
+            notes += n
             summary_parts.append(train_summary_md(baseline, fresh))
+            summary_parts.append(exposed_comm_md(baseline, fresh))
         else:
             notes.append("no train-e2e baseline: regression gate skipped")
             summary_parts.append(train_summary_md({}, fresh))
+            summary_parts.append(exposed_comm_md({}, fresh))
 
     if args.hotpath_fresh is not None:
         fresh_hot = _load(args.hotpath_fresh)

@@ -141,6 +141,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "process per rank",
     )
     tr.add_argument(
+        "--bucket-mb", type=float, default=None, metavar="MB",
+        help="gradient-bucket size cap for the issue-as-ready allreduce "
+        "(MiB of FP32 gradients per bucket; distributed runs only). "
+        "Bucketing changes only *when* communication is issued, never "
+        "the summation tree, so any value is bit-identical; default: "
+        "the spec's parallel.bucket_mb",
+    )
+    tr.add_argument(
         "--resume", metavar="NPZ", help="resume from a checkpoint (spec embedded)"
     )
     tr.add_argument(
@@ -252,6 +260,24 @@ def _dispatch(args: argparse.Namespace) -> str:
             ckpt = None
         backend = args.backend if args.backend is not None else spec.parallel.exec_backend
         distributed = spec.parallel.ranks > 1
+        if args.bucket_mb is not None:
+            if args.bucket_mb <= 0:
+                raise SystemExit("repro train: --bucket-mb must be positive")
+            if not distributed:
+                raise SystemExit(
+                    "repro train: --bucket-mb only applies to distributed "
+                    "specs (parallel.ranks > 1)"
+                )
+            import dataclasses
+
+            spec = dataclasses.replace(
+                spec,
+                parallel=dataclasses.replace(
+                    spec.parallel, bucket_mb=args.bucket_mb
+                ),
+            )
+            if ckpt is not None:
+                ckpt.spec = spec
         if backend == "process" and not distributed:
             raise SystemExit(
                 "repro train: --backend process needs a distributed spec "

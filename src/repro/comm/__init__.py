@@ -16,6 +16,10 @@ from repro.comm.collectives import (
     alltoall_exchange,
     scatter_chunks,
     gather_chunks,
+    tree_sum,
+    canonical_range_nodes,
+    canonical_node_partials,
+    sum_canonical_partials,
 )
 from repro.comm.backend import (
     BackendSpec,
@@ -32,7 +36,7 @@ from repro.comm.strategies import (
     make_exchange,
     EXCHANGE_STRATEGIES,
 )
-from repro.comm.ddp import DistributedDataParallelReducer
+from repro.comm.ddp import DistributedDataParallelReducer, GradientBucketer
 from repro.comm.ring import RingTrace, ring_allgather, ring_allreduce, ring_reduce_scatter
 
 __all__ = [
@@ -42,6 +46,11 @@ __all__ = [
     "alltoall_exchange",
     "scatter_chunks",
     "gather_chunks",
+    "tree_sum",
+    "canonical_range_nodes",
+    "canonical_node_partials",
+    "sum_canonical_partials",
+    "GradientBucketer",
     "BackendSpec",
     "mpi_backend",
     "ccl_backend",

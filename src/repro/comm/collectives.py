@@ -7,9 +7,15 @@ the caller hands one buffer (or buffer list) per rank, and receives
 result arrays; nothing here knows about time -- the simulated cluster
 charges cost separately.
 
-All functions are exact (FP32 sums in a fixed rank order) so that the
-distributed == single-socket equivalence tests can demand bitwise
-reproducibility.
+All functions are exact (FP32 sums over one *canonical summation tree*,
+see :func:`tree_sum`) so that the distributed == single-socket
+equivalence tests can demand bitwise reproducibility.  The tree is a
+pure function of the rank count: every realisation of a sum collective
+-- the direct fold here, the step-by-step recursive-halving ring in
+:mod:`repro.comm.ring`, and the hierarchical shared-memory fold of the
+process backend (:mod:`repro.exec.mp`) -- combines partial sums at the
+same tree nodes in the same order, so they all produce the same bits at
+any worker count.
 
 Aliasing convention: the *sum* collectives (:func:`allreduce_sum`,
 :func:`reduce_scatter_sum`, :func:`allgather_concat`) accumulate into a
@@ -40,18 +46,121 @@ def _check_same_shapes(bufs: list[np.ndarray]) -> None:
             raise ValueError(f"rank {i} buffer dtype {b.dtype} != rank 0 {dtype}")
 
 
-def _sum_fixed_order(bufs: list[np.ndarray]) -> np.ndarray:
-    """Fixed-rank-order FP32 fold into one freshly-allocated buffer.
+def _split(lo: int, hi: int) -> int:
+    """The canonical tree's split point for node ``[lo, hi)``.
 
-    One allocation total: rank 0 is copied once, every later rank is
-    accumulated in place with ``np.add(..., out=total)`` -- the exact
-    left fold the old ``total = total + b`` spelling performed, without
-    its R-1 temporaries.
+    Left-heavy halving: the left child takes ``ceil(n/2)`` ranks.  The
+    rule depends only on the *size* of the range, so the subtree over any
+    contiguous rank range is isomorphic to the tree over a zero-based
+    range of the same length -- which is what lets a process-backend
+    worker reduce its contiguous rank slice locally and still land on
+    the global tree's node values (see :func:`canonical_range_nodes`).
     """
-    total = bufs[0].copy()
-    for b in bufs[1:]:
-        np.add(total, b, out=total)
-    return total
+    return lo + (hi - lo + 1) // 2
+
+
+def _tree_sum_range(bufs: list[np.ndarray], lo: int, hi: int) -> tuple[np.ndarray, bool]:
+    """Sum ``bufs[lo:hi]`` over the canonical tree.
+
+    Returns ``(total, owned)``: leaves are *borrowed* input buffers
+    (``owned=False``); every internal node allocates at most once (the
+    two-leaf combine) and accumulates into its own scratch above that.
+    """
+    if hi - lo == 1:
+        return bufs[lo], False
+    mid = _split(lo, hi)
+    left, left_owned = _tree_sum_range(bufs, lo, mid)
+    right, _ = _tree_sum_range(bufs, mid, hi)
+    if left_owned:
+        np.add(left, right, out=left)
+        return left, True
+    return left + right, True
+
+
+def tree_sum(bufs: list[np.ndarray]) -> np.ndarray:
+    """Canonical-tree FP32 fold into one freshly-allocated buffer.
+
+    The summation tree is the contiguous balanced binary tree over the
+    rank indices with the left-heavy split of :func:`_split`; for one,
+    two or three buffers it coincides with the plain left fold.  IEEE
+    adds are not associative, so pinning *this* tree (rather than a left
+    fold, whose shape depends on who folds) is what keeps every
+    realisation -- direct, recursive-halving ring, hierarchical
+    worker fold -- bitwise identical.
+    """
+    if not bufs:
+        raise ValueError("need at least one buffer")
+    total, owned = _tree_sum_range(bufs, 0, len(bufs))
+    return total if owned else total.copy()
+
+
+def canonical_range_nodes(lo: int, hi: int, size: int) -> list[tuple[int, int]]:
+    """Maximal canonical-tree nodes covering ``[lo, hi)`` within a tree
+    over ``size`` ranks.
+
+    Any contiguous rank range decomposes into O(log size) complete
+    subtrees of the canonical tree; a process-backend worker computes
+    exactly these partials for its rank slice, ships them once, and every
+    worker then finishes the identical upper tree from everyone's
+    partials (:func:`sum_canonical_partials`).
+    """
+    if not 0 <= lo < hi <= size:
+        raise ValueError(f"range [{lo}, {hi}) invalid for {size} ranks")
+
+    def rec(nlo: int, nhi: int) -> list[tuple[int, int]]:
+        if nlo >= hi or nhi <= lo:
+            return []
+        if lo <= nlo and nhi <= hi:
+            return [(nlo, nhi)]
+        mid = _split(nlo, nhi)
+        return rec(nlo, mid) + rec(mid, nhi)
+
+    return rec(0, size)
+
+
+def canonical_node_partials(
+    bufs: list[np.ndarray], lo: int, hi: int, size: int
+) -> dict[tuple[int, int], np.ndarray]:
+    """Per-node partial sums of ``bufs`` (indexed ``lo..hi-1``) for the
+    maximal canonical nodes of ``[lo, hi)``.  Single-rank nodes hand back
+    the input buffer itself (no copy); larger nodes allocate their sum.
+    """
+    if len(bufs) != hi - lo:
+        raise ValueError(f"expected {hi - lo} buffers for [{lo}, {hi}), got {len(bufs)}")
+    out: dict[tuple[int, int], np.ndarray] = {}
+    for nlo, nhi in canonical_range_nodes(lo, hi, size):
+        total, _ = _tree_sum_range(bufs, nlo - lo, nhi - lo)
+        out[(nlo, nhi)] = total
+    return out
+
+
+def sum_canonical_partials(
+    partials: dict[tuple[int, int], np.ndarray], size: int
+) -> np.ndarray:
+    """Complete the canonical tree over ``size`` ranks from node partials.
+
+    ``partials`` must cover every rank exactly once via canonical nodes
+    (the union of every worker's :func:`canonical_node_partials`).  The
+    result is always freshly allocated -- safe even when the partials are
+    read-only shared-memory views with a bounded lifetime.
+    """
+
+    def rec(nlo: int, nhi: int) -> tuple[np.ndarray, bool]:
+        node = partials.get((nlo, nhi))
+        if node is not None:
+            return node, False
+        if nhi - nlo == 1:
+            raise ValueError(f"no partial covers rank {nlo}")
+        mid = _split(nlo, nhi)
+        left, left_owned = rec(nlo, mid)
+        right, _ = rec(mid, nhi)
+        if left_owned:
+            np.add(left, right, out=left)
+            return left, True
+        return left + right, True
+
+    total, owned = rec(0, size)
+    return total if owned else np.array(total, copy=True)
 
 
 def allreduce_sum(bufs: list[np.ndarray]) -> list[np.ndarray]:
@@ -59,7 +168,7 @@ def allreduce_sum(bufs: list[np.ndarray]) -> list[np.ndarray]:
 
     All ranks share one result buffer (see the module aliasing note)."""
     _check_same_shapes(bufs)
-    total = _sum_fixed_order(bufs)
+    total = tree_sum(bufs)
     return [total for _ in bufs]
 
 
@@ -71,7 +180,7 @@ def reduce_scatter_sum(bufs: list[np.ndarray]) -> list[np.ndarray]:
     one shared sum buffer (see the module aliasing note).
     """
     _check_same_shapes(bufs)
-    return list(np.array_split(_sum_fixed_order(bufs), len(bufs), axis=0))
+    return list(np.array_split(tree_sum(bufs), len(bufs), axis=0))
 
 
 def allgather_concat(chunks: list[np.ndarray]) -> list[np.ndarray]:

@@ -1,23 +1,29 @@
-"""Step-by-step ring collectives (the paper's allreduce realisation).
+"""Step-by-step pipelined collectives (the paper's allreduce realisation).
 
 Sect. IV-A materialises the MLP-gradient allreduce as a reduce-scatter
 followed by an allgather so the two phases can be pipelined against the
 backward GEMMs (Fig. 2).  The direct-sum collectives in
 :mod:`repro.comm.collectives` give the *semantics*; this module executes
-the actual ring algorithm, step by step, with explicit per-step sends --
-so tests can assert not just the result but the algorithm's defining
-property: every rank transmits exactly ``(R-1)/R * nbytes`` per phase
-(the bandwidth-optimality bound the cost model assumes).
+the algorithm step by step, with explicit per-step sends -- so tests can
+assert not just the result but the algorithm's defining property: every
+rank transmits ``(R-1)/R * nbytes`` per phase (exactly so at power-of-two
+rank counts; the bandwidth-optimality bound the cost model assumes).
 
-Ring schedule (canonical):
+Schedule:
 
-* reduce-scatter: at step s (0..R-2), rank r sends chunk ``(r - s) mod R``
-  to rank ``(r+1) mod R``, which reduces it into its copy.  After R-1
-  steps rank r holds the fully-reduced chunk ``(r + 1) mod R``.
-* allgather: same rotation, copying instead of reducing.
+* reduce-scatter: recursive halving over the *canonical summation tree*
+  of :func:`repro.comm.collectives.tree_sum` -- contiguous rank groups
+  merge bottom-up; at each merge, for every chunk, the group that does
+  not keep custody ships its partial and the keeper combines
+  ``left + right`` in tree order.  Custody descends toward the chunk's
+  final holder, so after ``ceil(log2 R)`` merge levels rank r holds the
+  fully-reduced chunk r -- combined at the same tree nodes in the same
+  order as the direct fold, hence bitwise equal to
+  ``array_split(tree_sum(bufs), R)``.
+* allgather: the classic ring rotation, copying only (order-free).
 
-The results are rotated so rank r returns chunk r, matching the
-convention of :func:`repro.comm.collectives.reduce_scatter_sum`.
+Rank r returns chunk r, matching the convention of
+:func:`repro.comm.collectives.reduce_scatter_sum`.
 """
 
 from __future__ import annotations
@@ -25,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from repro.comm.collectives import _split
 
 
 @dataclass
@@ -59,21 +67,37 @@ def ring_reduce_scatter(
         raise ValueError(f"rank buffers disagree on shape: {shapes}")
     chunks = [_chunk(b, r) for b in bufs]  # chunks[rank][chunk_id]
     sent = [0.0] * r
-    for step in range(r - 1):
-        # All sends of a step are simultaneous: snapshot the outgoing
-        # chunks first, then apply the reductions.
-        outgoing = []
-        for rank in range(r):
-            cid = (rank - step) % r
-            outgoing.append((rank, (rank + 1) % r, cid, chunks[rank][cid].copy()))
-        for src, dst, cid, payload in outgoing:
-            chunks[dst][cid] += payload
-            sent[src] += payload.nbytes
+
+    def merge(lo: int, hi: int) -> tuple[dict[int, tuple[int, np.ndarray]], int]:
+        """Reduce ranks [lo, hi): returns ({chunk: (custodian, partial)},
+        merge depth).  Leaves hold their own local chunk values."""
+        if hi - lo == 1:
+            return {cid: (lo, chunks[lo][cid]) for cid in range(r)}, 0
+        mid = _split(lo, hi)
+        left, dl = merge(lo, mid)
+        right, dr = merge(mid, hi)
+        state: dict[int, tuple[int, np.ndarray]] = {}
+        for cid in range(r):
+            lc, lp = left[cid]
+            rc, rp = right[cid]
+            # Custody follows the chunk's final holder (rank cid); ties
+            # -- holder outside this group -- stay with the left child.
+            if mid <= cid < hi:
+                sent[lc] += lp.nbytes
+                keeper = rc
+            else:
+                sent[rc] += rp.nbytes
+                keeper = lc
+            # Combine in canonical tree order: left partial + right partial.
+            state[cid] = (keeper, lp + rp)
+        return state, 1 + max(dl, dr)
+
+    final, depth = merge(0, r)
     if trace is not None:
-        trace.steps = r - 1
+        trace.steps = depth
         trace.bytes_sent = sent
-    # Rank r now holds reduced chunk (r+1) mod r; rotate to chunk r.
-    return [chunks[(cid - 1) % r][cid].copy() for cid in range(r)]
+    # Custody descended toward each chunk's final holder: rank c has chunk c.
+    return [final[cid][1] for cid in range(r)]
 
 
 def ring_allgather(

@@ -414,6 +414,23 @@ class MLP:
             dy = layer.backward(dy)
         return dy
 
+    def backward_segment(self, dy: np.ndarray, start: int, stop: int) -> np.ndarray:
+        """Backward through layers ``[start, stop)`` only (in reverse),
+        returning the gradient flowing into layer ``start``.
+
+        Running ``backward_segment`` over a partition of ``[0, n)`` in
+        descending order is bit-for-bit :meth:`backward` -- it is the
+        same layer loop, split where the issue-as-ready allreduce wants
+        to ship each bucket's weight gradients.
+        """
+        if not 0 <= start < stop <= len(self.layers):
+            raise ValueError(
+                f"segment [{start}, {stop}) invalid for {len(self.layers)} layers"
+            )
+        for layer in reversed(self.layers[start:stop]):
+            dy = layer.backward(dy)
+        return dy
+
     def zero_grad(self) -> None:
         for p in self.parameters():
             p.zero_grad()

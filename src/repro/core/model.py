@@ -224,6 +224,29 @@ class DLRM:
             dr = self.top.backward(dlogits)
             return self.interaction.backward(dr)
 
+    def top_backward_segment(
+        self, dy: np.ndarray, start: int, stop: int
+    ) -> np.ndarray:
+        """Backward through Top MLP layers ``[start, stop)`` only -- the
+        issue-as-ready path walks the stack bucket by bucket so each
+        bucket's weight gradients can fly while earlier layers compute."""
+        with trace("mlp.gemm.bwd", rows=dy.shape[0]):
+            return self.top.backward_segment(dy, start, stop)
+
+    def bottom_backward_segment(
+        self, dy: np.ndarray, start: int, stop: int
+    ) -> np.ndarray:
+        """Backward through Bottom MLP layers ``[start, stop)`` only."""
+        with trace("mlp.gemm.bwd", rows=dy.shape[0]):
+            return self.bottom.backward_segment(dy, start, stop)
+
+    def interaction_backward(
+        self, dr: np.ndarray
+    ) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Interaction backward alone; composes with
+        :meth:`top_backward_segment` to equal :meth:`top_backward`."""
+        return self.interaction.backward(dr)
+
     def bottom_backward(self, ddense: np.ndarray) -> np.ndarray:
         """Bottom MLP backward (weight grads accumulate into parameters)."""
         with trace("mlp.gemm.bwd", rows=ddense.shape[0]):

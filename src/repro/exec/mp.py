@@ -417,6 +417,59 @@ class SpmdRankPool:
                 cluster.absorb_wait(hid, r)
         return results
 
+    def reduce_map(self, fn: Callable[[int], Any], ranks: Sequence[int]) -> Any:
+        """Hierarchical canonical-tree fold of per-rank flat buffers.
+
+        The thread pool's ``reduce_map`` is ``tree_sum(map(fn, ranks))``.
+        Here each worker runs ``fn`` for its local contiguous rank range,
+        folds those buffers into the *maximal canonical-subtree partials*
+        of that range (a zero-transport shared-memory reduction), ships
+        only the partials -- O(log ranks) buffers instead of one per
+        rank -- through a single mailbox exchange, and completes the
+        identical upper tree locally.  Because the canonical tree's
+        split rule depends only on range sizes, the partials land on the
+        exact nodes the sequential ``tree_sum`` computes, so the result
+        is bitwise identical at any worker count.  Clock advances and
+        collective waits piggyback on the same exchange round, exactly
+        like :meth:`map`.
+        """
+        from repro.comm.collectives import (
+            canonical_node_partials,
+            sum_canonical_partials,
+        )
+
+        rank_list = list(ranks)
+        if self.transport.n_workers == 1:
+            from repro.comm.collectives import tree_sum
+
+            return tree_sum([fn(r) for r in rank_list])
+        if rank_list != list(range(self.n_ranks)):
+            raise ValueError(
+                f"SpmdRankPool.reduce_map expects the full rank list, got {rank_list}"
+            )
+        cluster = self.cluster
+        if cluster is None:
+            raise RuntimeError("SpmdRankPool.reduce_map before bind(cluster)")
+        cluster.drain_wait_log()
+        lo, hi = self.local_ranks.start, self.local_ranks.stop
+        local = [fn(r) for r in self.local_ranks]
+        partials = canonical_node_partials(local, lo, hi, self.n_ranks)
+        clocks = {r: cluster.clocks[r].now for r in self.local_ranks}
+        waits = cluster.drain_wait_log()
+        gathered = self.transport.exchange((partials, clocks, waits))
+        all_partials: dict[tuple[int, int], Any] = {}
+        for i, (node_map, clk_map, wait_list) in enumerate(gathered):
+            all_partials.update(node_map)
+            if i == self.transport.worker_index:
+                continue
+            for r, now in clk_map.items():
+                cluster.set_clock(r, now)
+            for hid, r in wait_list:
+                cluster.absorb_wait(hid, r)
+        # The completed root is always freshly allocated, so it outlives
+        # the mailbox views' double-buffer lifetime.
+        return sum_canonical_partials(all_partials, self.n_ranks)
+
 
 # -- build plan ----------------------------------------------------------------
 

@@ -178,6 +178,22 @@ class WorkerPool:
         """Run zero-argument callables concurrently; fixed-order results."""
         return self.map(lambda thunk: thunk(), thunks)
 
+    def reduce_map(self, fn: Callable[[int], Any], ranks: Sequence[int]) -> Any:
+        """``tree_sum(map(fn, ranks))``: run a per-rank task whose result
+        is a flat FP32 buffer, and fold the buffers over the canonical
+        summation tree of :func:`repro.comm.collectives.tree_sum`.
+
+        This is the pool-level seam of the bucketed allreduce: the thread
+        pool folds the full rank list here; the process backend's
+        :class:`repro.exec.mp.SpmdRankPool` overrides it with a
+        hierarchical fold (local canonical-subtree partials, one
+        shared-memory exchange, identical tree completion) that produces
+        the same bits from the same contract.
+        """
+        from repro.comm.collectives import tree_sum
+
+        return tree_sum(self.map(fn, ranks))
+
     def run_sharded(
         self, fn: Callable[[int, int, int], R], work: int, max_shards: int | None = None
     ) -> list[R]:

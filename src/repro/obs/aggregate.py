@@ -71,6 +71,18 @@ def aggregate(spans: Iterable[dict[str, Any]]) -> dict[str, dict[str, Any]]:
     return out
 
 
+def _exposed_ms(st: dict[str, Any]) -> float:
+    """Exposed (non-overlapped) virtual communication time of one stage.
+
+    ``comm.*.wait`` spans carry an ``exposed_virtual_s`` counter -- the
+    simulated time the rank actually stalled, as opposed to transfer
+    time hidden under compute.  Summed here into a per-stage column so a
+    trace answers the paper's headline question ("how much communication
+    did the overlap hide?") without replaying the run.
+    """
+    return st["counters"].get("exposed_virtual_s", 0.0) * 1e3
+
+
 def stage_table(spans: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
     """Rows for :func:`repro.perf.report.format_table`."""
     rows = []
@@ -82,6 +94,7 @@ def stage_table(spans: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
                 "total_ms": st["total_ms"],
                 "mean_ms": st["mean_ms"],
                 "share": st["share"],
+                "exposed_ms": _exposed_ms(st),
             }
         )
     return rows
@@ -90,12 +103,15 @@ def stage_table(spans: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
 def stage_breakdown(spans: Iterable[dict[str, Any]]) -> dict[str, Any]:
     """The versioned per-stage section embedded in bench JSON payloads
     (``BENCH_train_e2e.json``) and gated by ``compare_bench.py``."""
-    stages = {
-        name: {
+    stages = {}
+    for name, st in aggregate(spans).items():
+        entry = {
             "count": st["count"],
             "total_ms": round(st["total_ms"], 3),
             "share": round(st["share"], 4),
         }
-        for name, st in aggregate(spans).items()
-    }
+        exposed = _exposed_ms(st)
+        if exposed:
+            entry["exposed_ms"] = round(exposed, 3)
+        stages[name] = entry
     return {"telemetry_schema": TELEMETRY_SCHEMA, "stages": stages}

@@ -91,6 +91,37 @@ class CollectiveHandle:
         return len(self._waited) == len(self.completion)
 
 
+class CollectiveHandleSet:
+    """A fixed-order group of in-flight collectives (one per gradient
+    bucket) presented through the single-handle interface: ``wait(rank)``
+    waits every member in issue order and returns the summed exposed
+    time.  Used by the bucketed issue-as-ready allreduce path, whose
+    callers (the analytic iteration model, benches) treat the whole
+    half's reduction as one awaitable."""
+
+    def __init__(self, handles: list[CollectiveHandle]):
+        if not handles:
+            raise ValueError("need at least one handle")
+        self.handles = list(handles)
+
+    def __len__(self) -> int:
+        return len(self.handles)
+
+    def __iter__(self):
+        return iter(self.handles)
+
+    def wait(self, rank: int) -> float:
+        return sum(h.wait(rank) for h in self.handles)
+
+    def wait_all(self) -> None:
+        for h in self.handles:
+            h.wait_all()
+
+    @property
+    def done(self) -> bool:
+        return all(h.done for h in self.handles)
+
+
 class SimCluster:
     """R ranks, one socket each, joined by a modelled fabric."""
 
@@ -154,6 +185,11 @@ class SimCluster:
         self._last_completion = [0.0] * n_ranks
         #: Time at which the shared network engine becomes free.
         self._network_free = 0.0
+        #: Cumulative transfer occupancy of the network engine (sum of
+        #: issued collective durations).  Against the exposed wait
+        #: charges this splits communication into hidden vs exposed:
+        #: ``hidden = network_busy_s - mean-rank exposed wait``.
+        self.network_busy_s = 0.0
         #: Issue-order sequence for handle ids (identical across SPMD
         #: worker processes: issues happen in replicated orchestration).
         self._issue_seq = 0
@@ -280,6 +316,7 @@ class SimCluster:
         transfer_start = max(start, self._network_free)
         raw_done = transfer_start + duration
         self._network_free = raw_done
+        self.network_busy_s += duration
         completion: dict[int, float] = {}
         for r in self.ranks:
             done = raw_done

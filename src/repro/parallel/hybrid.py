@@ -6,7 +6,11 @@ ranks (each owning whole tables, looked up for the *global* minibatch);
 the Bottom/Top MLPs are replicated and work on minibatch shards, with
 their weight gradients allreduced.
 
-The iteration follows the paper's overlap schedule precisely:
+The iteration follows the paper's issue-as-ready overlap schedule
+(Sect. IV-C, Fig. 2): gradients are *bucketed* in fixed reverse-layer
+order (:class:`repro.comm.ddp.GradientBucketer`, capped at
+``bucket_mb``) and each bucket's allreduce is issued the moment its
+layers' backward-by-weights completes:
 
 1.  (loader) -- optionally the flawed global-minibatch loader,
 2.  embedding forward on owned tables (full batch),
@@ -14,15 +18,27 @@ The iteration follows the paper's overlap schedule precisely:
 4.  Bottom MLP forward -- the only compute the forward alltoall can hide
     behind,
 5.  **wait** exchange; interaction + Top MLP forward + loss,
-6.  Top MLP + interaction backward,
-7.  **issue** allreduce(top grads)    -- overlaps the rest of backward,
+6.  Top MLP backward, bucket by bucket from the last layer down;
+    **issue** each top bucket's allreduce as soon as its segment's
+    weight gradients exist -- the first buckets fly while the rest of
+    the top stack, the interaction and the whole Bottom MLP still
+    compute,
+7.  interaction backward,
 8.  **issue** backward exchange (embedding-output gradients to owners),
-9.  Bottom MLP backward,
-10. **issue** allreduce(bottom grads),
-11. **wait** backward exchange; per-table Alg. 2 backward + sparse update
+9.  Bottom MLP backward, bucket by bucket; **issue** each bottom
+    bucket's allreduce as ready -- these transfer under the sparse
+    update phase,
+10. **wait** backward exchange; per-table Alg. 2 backward + sparse update
     (this wait is where the MPI backend's in-order completion makes the
     allreduce cost appear as "Alltoall-Wait", Sect. VI-D),
-12. **wait** allreduces; dense SGD step (identical on all ranks).
+11. **wait** each gradient bucket at first use (in issue order), unpack
+    its summed gradients, then the dense SGD step (identical on all
+    ranks).
+
+Each bucket's cross-rank sum folds over the canonical summation tree of
+:func:`repro.comm.collectives.tree_sum` -- fixed bucket membership,
+fixed tree, independent of issue timing and worker count -- so the
+overlapped run is bitwise the sequential one.
 
 Numerical invariant (tested): with loss normaliser = GN on every rank,
 the summed allreduce gradients, the concatenated embedding-output
@@ -47,7 +63,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.comm.ddp import DistributedDataParallelReducer
+from repro.comm.ddp import DistributedDataParallelReducer, GradientBucketer
 from repro.comm.strategies import make_exchange
 from repro.exec.pool import WorkerPool, get_pool
 from repro.parallel.placement import make_placement, validate_placement
@@ -101,6 +117,7 @@ class DistributedDLRM:
         gemm_impl: str = "this_work",
         placement: str | list[int] = "round_robin",
         pool: WorkerPool | None = None,
+        bucket_mb: float = 4.0,
     ):
         r = cluster.n_ranks
         if cfg.num_tables < r:
@@ -130,6 +147,15 @@ class DistributedDLRM:
         ]
         self.exchange = make_exchange(exchange)
         self.reducer = DistributedDataParallelReducer(cluster)
+        if bucket_mb <= 0:
+            raise ValueError(f"bucket_mb must be positive, got {bucket_mb}")
+        self.bucket_mb = float(bucket_mb)
+        cap_bytes = self.bucket_mb * float(1 << 20)
+        #: Fixed reverse-layer-order gradient buckets per MLP half -- a
+        #: pure function of the config and the cap, identical on every
+        #: rank/worker/backend (the bit-identity contract).
+        self.top_buckets = GradientBucketer(cfg.top_layer_shapes(), cap_bytes)
+        self.bottom_buckets = GradientBucketer(cfg.bottom_layer_shapes(), cap_bytes)
         self.loader_mode = loader_mode
         self.gemm_impl = gemm_impl
         self.optimizers: list[SGD] | None = None
@@ -149,6 +175,7 @@ class DistributedDLRM:
             loader_mode=loader_mode,
             gemm_impl=gemm_impl,
             placement=list(self.owners),
+            bucket_mb=self.bucket_mb,
         )
         self.optimizer_factory: Callable[[], SGD] | None = None
 
@@ -198,6 +225,15 @@ class DistributedDLRM:
         only the packed flats cross the transport."""
         return lambda r: [p.grad for p in getattr(self.models[r], half).parameters()]
 
+    def _bucket_grads(self, r: int, half: str, start: int, stop: int) -> list[np.ndarray]:
+        """Gradient tensors of one bucket, in the fixed pack order:
+        descending layer index, ``[weight.grad, bias.grad]`` per layer
+        (the parameter order of ``FullyConnected.parameters()``)."""
+        layers = getattr(self.models[r], half).layers
+        return [
+            p.grad for i in reversed(range(start, stop)) for p in layers[i].parameters()
+        ]
+
     # -- the iteration ------------------------------------------------------------
 
     def train_step(self, global_batch: Batch) -> float:
@@ -234,20 +270,20 @@ class DistributedDLRM:
 
         emb_global: list[dict[int, np.ndarray]] = self._map_ranks(_embedding_fwd)
 
-        # 3-6. Issue exchange; then one fused rank task runs Bottom MLP
+        # 3-5. Issue exchange; then one fused rank task runs Bottom MLP
         # forward under it, waits, and carries straight through the Top
-        # MLP forward, loss and Top/interaction backward -- there is no
-        # main-thread work between those phases, so fusing them drops
-        # three synchronization barriers without moving a single charge
-        # or wait in any rank's virtual-time sequence.
+        # MLP forward and loss -- there is no main-thread work between
+        # those phases, so fusing them drops synchronization barriers
+        # without moving a single charge or wait in any rank's
+        # virtual-time sequence.  The loss gradient is stashed rank-
+        # locally: backward runs bucket by bucket below.
         emb_slices, ex_fwd = self.exchange.forward(cluster, emb_global, self.owners)
         ln = gn // r_count
+        dy: list[np.ndarray | None] = [None] * r_count
 
-        def _fwd_loss_top_bwd(
-            r: int,
-        ) -> tuple[float, np.ndarray, dict[int, np.ndarray]]:
+        def _fwd_loss(r: int) -> float:
             model = self.models[r]
-            with trace("phase.fwd_loss_top_bwd", rank=r):
+            with trace("phase.fwd_loss", rank=r):
                 x_bottom = model.bottom_forward(shards[r])
                 t = mlp_forward_time(cm, cfg.bottom_layer_shapes(), ln, impl, cores)
                 cluster.charge(r, t, "compute.mlp.bottom.fwd")
@@ -265,53 +301,97 @@ class DistributedDLRM:
                 )
                 loss = model.loss_fn.forward(logits, shards[r].labels, normalizer=gn)
                 cluster.charge(r, cm.elementwise_time(ln * 16, cores), "compute.loss")
-                dd, de = model.top_backward(model.loss_fn.backward())
-                cluster.charge(
-                    r,
-                    mlp_backward_time(cm, cfg.top_layer_shapes(), ln, impl, cores),
-                    "compute.mlp.top.bwd",
-                )
+                dy[r] = model.loss_fn.backward()
+            return loss
+
+        # The cross-rank loss sum stays a fixed-rank-order fold here.
+        global_loss = float(sum(self._map_ranks(_fwd_loss)))
+
+        # 6. Top MLP backward, bucket by bucket (reverse layer order).
+        # Each bucket's segment backward, pack and cross-rank fold run as
+        # one reduce_map (a single transport round under the process
+        # backend: canonical-subtree partials, not per-rank flats, cross
+        # the mailboxes); its allreduce is issued the moment the fold
+        # lands -- while the remaining top layers, the interaction and
+        # the whole bottom MLP still compute.
+        pool = self._resolve_pool()
+        shapes_top = cfg.top_layer_shapes()
+        top_summed: list[np.ndarray] = []
+        top_handles = []
+        for k in range(len(self.top_buckets)):
+            start, stop = self.top_buckets.layer_range(k)
+
+            def _top_seg(r: int, k: int = k, start: int = start, stop: int = stop):
+                model = self.models[r]
+                with trace("phase.top.bwd", rank=r, bucket=k):
+                    dy[r] = model.top_backward_segment(dy[r], start, stop)
+                    cluster.charge(
+                        r,
+                        mlp_backward_time(cm, shapes_top[start:stop], ln, impl, cores),
+                        "compute.mlp.top.bwd",
+                    )
+                    return self.reducer.pack_grads(
+                        r, self._bucket_grads(r, "top", start, stop), bucket=k
+                    )
+
+            top_summed.append(pool.reduce_map(_top_seg, list(cluster.ranks)))
+            top_handles.append(self.reducer.issue_transfer(self.top_buckets.nbytes(k)))
+
+        # 7. Interaction backward.  d(bottom output) stays rank-local;
+        # the embedding-output gradients come back through the map so the
+        # replicated backward exchange sees every rank's contribution.
+        ddense: list[np.ndarray | None] = [None] * r_count
+
+        def _interaction_bwd(r: int) -> dict[int, np.ndarray]:
+            model = self.models[r]
+            with trace("phase.interaction.bwd", rank=r):
+                dd, de = model.interaction_backward(dy[r])
                 cluster.charge(
                     r,
                     cm.interaction_time(ln, cfg.num_vectors, cfg.embedding_dim, cores),
                     "compute.interaction.bwd",
                 )
-            return loss, dd, {t: de[t] for t in range(cfg.num_tables)}
+            ddense[r] = dd
+            return {t: de[t] for t in range(cfg.num_tables)}
 
-        fwd_bwd = self._map_ranks(_fwd_loss_top_bwd)
-        # The cross-rank loss sum stays a fixed-rank-order fold here.
-        global_loss = float(sum(loss for loss, _, _ in fwd_bwd))
-        ddense: list[np.ndarray] = [dd for _, dd, _ in fwd_bwd]
-        dembs: list[dict[int, np.ndarray]] = [de for _, _, de in fwd_bwd]
-
-        # 7. Allreduce the Top MLP gradients (overlaps remaining
-        # backward).  The gradient source is lazy and the pack/unpack
-        # run on the rank pool: each backend's owner packs its own
-        # ranks.
-        pool = self._resolve_pool()
-        ar_top = self.reducer.allreduce_grads(self._grads_for("top"), pool=pool)
+        dembs: list[dict[int, np.ndarray]] = self._map_ranks(_interaction_bwd)
 
         # 8. Backward exchange: embedding-output gradients to table owners.
         grads_to_owner, ex_bwd = self.exchange.backward(cluster, dembs, self.owners)
 
-        # 9-10. Bottom MLP backward, then its allreduce.
-        def _bottom_bwd(r: int) -> None:
-            with trace("phase.bottom.bwd", rank=r):
-                self.models[r].bottom_backward(ddense[r])
-            cluster.charge(
-                r,
-                mlp_backward_time(cm, cfg.bottom_layer_shapes(), ln, impl, cores),
-                "compute.mlp.bottom.bwd",
+        # 9. Bottom MLP backward, bucket by bucket; these buckets
+        # transfer under the sparse-update phase.
+        shapes_bot = cfg.bottom_layer_shapes()
+        bottom_summed: list[np.ndarray] = []
+        bottom_handles = []
+        for k in range(len(self.bottom_buckets)):
+            start, stop = self.bottom_buckets.layer_range(k)
+
+            def _bottom_seg(r: int, k: int = k, start: int = start, stop: int = stop):
+                model = self.models[r]
+                with trace("phase.bottom.bwd", rank=r, bucket=k):
+                    src = ddense[r] if k == 0 else dy[r]
+                    dy[r] = model.bottom_backward_segment(src, start, stop)
+                    cluster.charge(
+                        r,
+                        mlp_backward_time(cm, shapes_bot[start:stop], ln, impl, cores),
+                        "compute.mlp.bottom.bwd",
+                    )
+                    return self.reducer.pack_grads(
+                        r, self._bucket_grads(r, "bottom", start, stop), bucket=k
+                    )
+
+            bottom_summed.append(pool.reduce_map(_bottom_seg, list(cluster.ranks)))
+            bottom_handles.append(
+                self.reducer.issue_transfer(self.bottom_buckets.nbytes(k))
             )
 
-        self._map_ranks(_bottom_bwd)
-        ar_bottom = self.reducer.allreduce_grads(self._grads_for("bottom"), pool=pool)
-
-        # 11-12. One fused rank task: wait the backward exchange, run the
-        # Alg. 2 backward + sparse update, then wait the allreduces and
+        # 10-11. One fused rank task: wait the backward exchange, run the
+        # Alg. 2 backward + sparse update, then wait each gradient bucket
+        # at first use (issue order), unpack its summed gradients, and
         # take the dense SGD step (summed grads, identical on every rank
-        # because the loss was normalised by GN).  Both allreduces were
-        # issued above, so no barrier is needed between 11 and 12.
+        # because the loss was normalised by GN).  Every bucket was
+        # issued above, so no barrier is needed in between.
         def _updates(r: int) -> None:
             model = self.models[r]
             with trace("phase.updates", rank=r):
@@ -356,8 +436,20 @@ class DistributedDLRM:
                     with trace("update.sparse", rank=r, rows=grad.nnz):
                         opt.step_sparse(model.tables[t], grad)
                 model.sparse_grads.clear()
-                ar_top.wait(r)
-                ar_bottom.wait(r)
+                for k, handle in enumerate(top_handles):
+                    handle.wait(r)
+                    start, stop = self.top_buckets.layer_range(k)
+                    self.reducer.unpack_grads(
+                        r, self._bucket_grads(r, "top", start, stop),
+                        top_summed[k], bucket=k,
+                    )
+                for k, handle in enumerate(bottom_handles):
+                    handle.wait(r)
+                    start, stop = self.bottom_buckets.layer_range(k)
+                    self.reducer.unpack_grads(
+                        r, self._bucket_grads(r, "bottom", start, stop),
+                        bottom_summed[k], bucket=k,
+                    )
                 dense_bytes = sum(p.nbytes for p in model.parameters()) * 3
                 with trace("update.dense", rank=r):
                     opt.step_dense(model.parameters())

@@ -143,8 +143,11 @@ class ParallelSpec:
     rank phases on (``thread`` = the process-wide worker pool,
     ``process`` = shared-memory worker processes, see
     :mod:`repro.exec.mp`), with ``exec_workers`` worker threads or
-    processes (None = backend default).  Every combination trains
-    bitwise identically; only wall-clock changes.
+    processes (None = backend default).  ``bucket_mb`` caps the
+    issue-as-ready gradient buckets of the MLP allreduce (MiB per
+    bucket; smaller = more overlap, more per-collective overhead).
+    Every combination trains bitwise identically; only wall-clock and
+    virtual comm-overlap change.
     """
 
     ranks: int = 1
@@ -154,6 +157,7 @@ class ParallelSpec:
     placement: str = "round_robin"
     exec_backend: str = "thread"
     exec_workers: int | None = None
+    bucket_mb: float = 4.0
 
 
 @dataclass(frozen=True)
@@ -244,6 +248,8 @@ class RunSpec:
             )
         if self.parallel.exec_workers is not None and self.parallel.exec_workers < 1:
             raise ValueError("parallel.exec_workers must be >= 1 (or null)")
+        if self.parallel.bucket_mb <= 0:
+            raise ValueError("parallel.bucket_mb must be positive")
         if self.parallel.exec_backend == "process" and self.parallel.ranks < 2:
             raise ValueError(
                 "parallel.exec_backend='process' needs parallel.ranks >= 2 "

@@ -366,6 +366,7 @@ class DistributedTrainer(Trainer):
             storage=spec.precision.storage,
             lo_bits=spec.precision.lo_bits,
             placement=par.placement,
+            bucket_mb=par.bucket_mb,
         )
         dist.attach_optimizers(spec.build_optimizer)
         return cls(

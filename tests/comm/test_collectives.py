@@ -10,14 +10,96 @@ from repro.comm.collectives import (
     allreduce_sum,
     allreduce_via_rs_ag,
     alltoall_exchange,
+    canonical_node_partials,
+    canonical_range_nodes,
     gather_chunks,
     reduce_scatter_sum,
     scatter_chunks,
+    sum_canonical_partials,
+    tree_sum,
 )
 
 
 def rank_buffers(rng, r, shape=(6, 4)):
     return [rng.standard_normal(shape).astype(np.float32) for _ in range(r)]
+
+
+def contiguous_partitions(r, parts):
+    """All ways to cut [0, r) into ``parts`` non-empty contiguous ranges."""
+    if parts == 1:
+        yield [(0, r)]
+        return
+    for cut in range(1, r - parts + 2):
+        for rest in contiguous_partitions(r - cut, parts - 1):
+            yield [(0, cut)] + [(lo + cut, hi + cut) for lo, hi in rest]
+
+
+class TestCanonicalTree:
+    """The summation-tree contract underneath the bucketed allreduce:
+    any contiguous partition of the ranks (= any worker layout of the
+    process backend) reduces to the *same bits* via subtree partials."""
+
+    @given(st.integers(1, 8), st.integers(0, 999))
+    @settings(max_examples=40, deadline=None)
+    def test_tree_sum_is_exact_sum(self, r, seed):
+        bufs = rank_buffers(np.random.default_rng(seed), r)
+        np.testing.assert_allclose(
+            tree_sum(bufs), np.sum(bufs, axis=0, dtype=np.float64), rtol=1e-5
+        )
+
+    def test_tree_sum_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tree_sum([])
+
+    def test_tree_sum_single_returns_copy(self, rng):
+        b = rank_buffers(rng, 1)
+        out = tree_sum(b)
+        np.testing.assert_array_equal(out, b[0])
+        assert out is not b[0]
+
+    def test_range_nodes_cover_range_maximally(self):
+        for size in range(1, 14):
+            for lo in range(size):
+                for hi in range(lo + 1, size + 1):
+                    nodes = canonical_range_nodes(lo, hi, size)
+                    assert nodes[0][0] == lo and nodes[-1][1] == hi
+                    for (a, b), (c, d) in zip(nodes, nodes[1:]):
+                        assert b == c
+
+    @pytest.mark.parametrize("r", [1, 2, 3, 4, 5, 6, 7, 8, 13])
+    def test_every_contiguous_partition_is_bitwise_identical(self, rng, r):
+        """Hierarchical fold == flat fold, for every worker layout."""
+        bufs = rank_buffers(rng, r, shape=(5, 3))
+        want = tree_sum(bufs)
+        for parts in range(1, r + 1):
+            for partition in contiguous_partitions(r, parts):
+                partials = {}
+                for lo, hi in partition:
+                    partials.update(
+                        canonical_node_partials(bufs[lo:hi], lo, hi, r)
+                    )
+                got = sum_canonical_partials(partials, r)
+                np.testing.assert_array_equal(got, want)
+
+    def test_missing_partial_raises(self, rng):
+        bufs = rank_buffers(rng, 4)
+        partials = canonical_node_partials(bufs[:2], 0, 2, 4)
+        with pytest.raises(ValueError, match="no partial covers rank"):
+            sum_canonical_partials(partials, 4)
+
+    def test_completion_root_is_fresh(self, rng):
+        """The completed sum must never alias a mailbox view: the process
+        backend reads peers' partials zero-copy from a double-buffered
+        segment whose lifetime ends at the next round."""
+        bufs = rank_buffers(rng, 2)
+        partials = canonical_node_partials(bufs, 0, 2, 2)
+        out = sum_canonical_partials(partials, 2)
+        for p in partials.values():
+            assert out is not p
+        # Single-node completion (whole range is one worker) too:
+        whole = {(0, 2): tree_sum(bufs)}
+        out2 = sum_canonical_partials(whole, 2)
+        assert out2 is not whole[(0, 2)]
 
 
 class TestAllreduce:

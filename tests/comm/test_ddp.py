@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.comm.ddp import DistributedDataParallelReducer
+from repro.comm.ddp import DistributedDataParallelReducer, GradientBucketer
 from repro.parallel.cluster import SimCluster
 
 
@@ -73,3 +73,105 @@ class TestIssueTimed:
             return cluster.profilers[0].total("comm")
 
         assert total(100e6) > 5 * total(10e6)
+
+
+SHAPES = [(13, 64), (64, 64), (64, 32), (32, 8), (8, 1)]
+
+
+def _bucket_grads(shapes, start, stop):
+    """[weight.grad, bias.grad] per layer, descending layer index --
+    the exact order ``DistributedDLRM._bucket_grads`` packs."""
+    out = []
+    for i in reversed(range(start, stop)):
+        fi, fo = shapes[i]
+        out.append(np.ones((fi, fo), np.float32))
+        out.append(np.ones(fo, np.float32))
+    return out
+
+
+class TestGradientBucketer:
+    def test_partitions_layers_in_reverse_order(self):
+        b = GradientBucketer(SHAPES, cap_bytes=20_000)
+        ranges = [b.layer_range(k) for k in range(len(b))]
+        # Issue order is last-layer-first; ranges tile [0, n) exactly.
+        assert ranges[0][1] == len(SHAPES)
+        assert ranges[-1][0] == 0
+        for (lo, hi), (nlo, nhi) in zip(ranges[1:], ranges[:-1]):
+            assert hi == nlo
+        assert all(hi > lo for lo, hi in ranges)
+
+    def test_cap_respected_unless_single_layer(self):
+        cap = 20_000
+        b = GradientBucketer(SHAPES, cap_bytes=cap)
+        for k in range(len(b)):
+            lo, hi = b.layer_range(k)
+            if hi - lo > 1:
+                assert b.nbytes(k) <= cap
+
+    def test_byte_totals(self):
+        b = GradientBucketer(SHAPES, cap_bytes=20_000)
+        assert sum(b.sizes()) == b.total_bytes()
+        assert b.total_bytes() == sum(
+            GradientBucketer.layer_bytes(s) for s in SHAPES
+        )
+
+    def test_huge_cap_gives_one_bucket(self):
+        b = GradientBucketer(SHAPES, cap_bytes=1 << 30)
+        assert len(b) == 1
+        assert b.layer_range(0) == (0, len(SHAPES))
+
+    def test_tiny_cap_gives_one_bucket_per_layer(self):
+        b = GradientBucketer(SHAPES, cap_bytes=1.0)
+        assert len(b) == len(SHAPES)
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            GradientBucketer([], cap_bytes=1024)
+        with pytest.raises(ValueError):
+            GradientBucketer(SHAPES, cap_bytes=0)
+
+
+class TestBucketedChargeParity:
+    """The analytic ``issue_timed_bucketed`` (bench/scaling path) and the
+    functional per-bucket pack/issue/wait/unpack path charge the same
+    framework + transfer time -- so scaling curves computed analytically
+    stay honest about what the functional trainer would pay."""
+
+    @pytest.mark.parametrize("cap", [4_000, 20_000, 1 << 30])
+    def test_totals_match(self, cap):
+        r = 4
+        bucketer = GradientBucketer(SHAPES, cap_bytes=cap)
+
+        functional = SimCluster(r, backend="ccl", blocking=True)
+        fred = DistributedDataParallelReducer(functional)
+        unpacks = []
+        for k in range(len(bucketer)):
+            lo, hi = bucketer.layer_range(k)
+            flats = [
+                fred.pack_grads(rank, _bucket_grads(SHAPES, lo, hi), bucket=k)
+                for rank in range(r)
+            ]
+            fred.issue_transfer(bucketer.nbytes(k))  # blocking cluster: waits inline
+            unpacks.append((lo, hi, flats))
+        for rank in range(r):  # the _updates tail: unpack at first use
+            for k, (lo, hi, flats) in enumerate(unpacks):
+                fred.unpack_grads(
+                    rank, _bucket_grads(SHAPES, lo, hi), flats[rank], bucket=k
+                )
+
+        analytic = SimCluster(r, backend="ccl", blocking=True)
+        ared = DistributedDataParallelReducer(analytic)
+        handles = ared.issue_timed_bucketed(bucketer.sizes())
+        assert len(handles) == len(bucketer)
+
+        for rank in range(r):
+            fp, ap = functional.profilers[rank], analytic.profilers[rank]
+            assert fp.get("comm.allreduce.framework") == pytest.approx(
+                ap.get("comm.allreduce.framework"), rel=1e-9
+            )
+            assert fp.get("comm.allreduce.wait") == pytest.approx(
+                ap.get("comm.allreduce.wait"), rel=1e-9
+            )
+            assert functional.clocks[rank].now == pytest.approx(
+                analytic.clocks[rank].now, rel=1e-9
+            )

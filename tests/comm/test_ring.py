@@ -5,7 +5,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.comm.collectives import allreduce_sum, reduce_scatter_sum
+from repro.comm.collectives import (
+    allreduce_sum,
+    allreduce_via_rs_ag,
+    reduce_scatter_sum,
+    tree_sum,
+)
 from repro.comm.ring import RingTrace, ring_allgather, ring_allreduce, ring_reduce_scatter
 
 
@@ -25,10 +30,12 @@ class TestRingReduceScatter:
         for a, d in zip(ring, direct):
             np.testing.assert_allclose(a, d, rtol=1e-5, atol=1e-6)
 
-    def test_trace_counts_r_minus_1_steps(self, rng):
-        t = RingTrace()
-        ring_reduce_scatter(bufs(rng, 5), t)
-        assert t.steps == 4
+    def test_trace_counts_merge_levels(self, rng):
+        """Recursive halving finishes in ceil(log2 R) merge levels."""
+        for r, want in ((2, 1), (3, 2), (4, 2), (5, 3), (8, 3)):
+            t = RingTrace()
+            ring_reduce_scatter(bufs(rng, r), t)
+            assert t.steps == want
 
     def test_each_rank_sends_fraction_of_buffer(self, rng):
         """The defining property: (R-1)/R of the buffer per rank."""
@@ -93,9 +100,10 @@ class TestRingAllreduce:
             assert sent == pytest.approx(expected, rel=1e-6)
 
     def test_total_steps(self, rng):
+        # ceil(log2 6) = 3 halving levels, then a 5-step gather ring.
         t = RingTrace()
         ring_allreduce(bufs(rng, 6), t)
-        assert t.steps == 2 * 5
+        assert t.steps == 3 + 5
 
     def test_uneven_chunking_still_exact(self, rng):
         b = bufs(rng, 3, rows=7)  # 7 rows over 3 ranks
@@ -103,3 +111,55 @@ class TestRingAllreduce:
         want = np.sum(b, axis=0, dtype=np.float32)
         for o in ring:
             np.testing.assert_allclose(o, want, rtol=1e-5)
+
+
+class TestRingMatchesFold:
+    """The step-by-step ring and the direct reduce-scatter+allgather fold
+    are the *same algorithm* at two abstraction levels: identical bits,
+    identical virtual-time charges.  Odd/awkward rank counts on purpose
+    (uneven halving trees AND uneven chunking)."""
+
+    @pytest.mark.parametrize("r", [3, 5, 6])
+    def test_bitwise_identical_sums(self, rng, r):
+        b = bufs(rng, r, rows=2 * r + 1)  # uneven chunks
+        ring = ring_allreduce(b)
+        fold = allreduce_via_rs_ag(b)
+        want = tree_sum(b)
+        for o, f in zip(ring, fold):
+            np.testing.assert_array_equal(o, f)  # bitwise, not allclose
+            np.testing.assert_array_equal(o, want)
+
+    @pytest.mark.parametrize("r", [3, 5, 6])
+    def test_reduce_scatter_bitwise_identical(self, rng, r):
+        b = bufs(rng, r, rows=2 * r + 1)
+        for o, f in zip(ring_reduce_scatter(b), reduce_scatter_sum(b)):
+            np.testing.assert_array_equal(o, f)
+
+    @pytest.mark.parametrize("r", [3, 5, 6])
+    def test_virtual_time_charges_match(self, rng, r):
+        """A functional ``cluster.allreduce`` and a cost-only issue of the
+        same byte volume land every rank on the same virtual clock and
+        charge the same wait time -- the timing model prices the data
+        path purely by bytes, never by which algorithm moved them."""
+        from repro.parallel.cluster import SimCluster
+
+        b = bufs(rng, r, rows=2 * r + 1)
+        functional = SimCluster(r, platform="cluster", backend="ccl")
+        analytic = SimCluster(r, platform="cluster", backend="ccl")
+        # Stagger the ranks identically on both clusters so the waits
+        # are nontrivial (late ranks expose less of the transfer).
+        for rank in range(r):
+            functional.charge(rank, 1e-4 * rank, "compute.mlp.top.bwd")
+            analytic.charge(rank, 1e-4 * rank, "compute.mlp.top.bwd")
+        _, fh = functional.allreduce(b)
+        ah = analytic.issue(
+            "allreduce", analytic.net.allreduce(analytic.participants(), b[0].nbytes)
+        )
+        for rank in range(r):
+            assert fh.wait(rank) == ah.wait(rank)
+        for rank in range(r):
+            assert functional.clocks[rank].now == analytic.clocks[rank].now
+            assert (
+                functional.profilers[rank].as_dict()
+                == analytic.profilers[rank].as_dict()
+            )

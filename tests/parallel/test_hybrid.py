@@ -127,6 +127,59 @@ class TestEquivalence:
         )
 
 
+class TestBucketing:
+    """Bucket size moves only the *issue points* of the gradient
+    allreduce; bucket membership and the canonical summation tree are
+    fixed, so every ``bucket_mb`` must be bitwise identical."""
+
+    @pytest.mark.parametrize("storage", ["fp32", "split_bf16"])
+    def test_bucket_mb_does_not_change_bits(self, storage):
+        cfg = tiny_config(num_tables=4, minibatch=16)
+        batches = [random_batch(cfg, 16, seed=s) for s in range(3)]
+
+        def run(bucket_mb):
+            cluster = SimCluster(4, backend="ccl")
+            dist = DistributedDLRM(
+                cfg, cluster, seed=7, storage=storage, bucket_mb=bucket_mb
+            )
+            if storage == "split_bf16":
+                dist.attach_optimizers(lambda: SplitSGD(lr=0.05))
+            else:
+                dist.attach_optimizers(lambda: SGD(lr=0.05))
+            losses = [dist.train_step(b) for b in batches]
+            weights = [p.value.copy() for p in dist.models[0].parameters()]
+            clocks = [c.now for c in cluster.clocks]
+            return losses, weights, clocks
+
+        base_losses, base_weights, base_clocks = run(4.0)
+        # 1e-4 MiB = ~105 bytes: every layer its own bucket on this config.
+        for bucket_mb in (64.0, 1e-4):
+            losses, weights, clocks = run(bucket_mb)
+            assert losses == base_losses  # bitwise: no approx
+            for w, bw in zip(weights, base_weights):
+                np.testing.assert_array_equal(w, bw)
+            assert clocks == base_clocks or bucket_mb == 1e-4
+            # Virtual clocks may legitimately differ across bucket sizes
+            # (different issue points change exposure) -- but the numerics
+            # never do.
+
+    def test_small_buckets_issue_more_collectives(self):
+        cfg = tiny_config(num_tables=4, minibatch=16)
+        batch = random_batch(cfg, 16)
+
+        def n_allreduce_issues(bucket_mb):
+            dist = build_distributed(cfg, 2, bucket_mb=bucket_mb)
+            dist.train_step(batch)
+            return dist.cluster._issue_seq
+
+        assert n_allreduce_issues(1e-4) > n_allreduce_issues(64.0)
+
+    def test_bucket_mb_validated(self):
+        cfg = tiny_config(num_tables=4)
+        with pytest.raises(ValueError, match="bucket_mb"):
+            DistributedDLRM(cfg, SimCluster(2, backend="ccl"), bucket_mb=0.0)
+
+
 class TestValidation:
     def test_more_ranks_than_tables_rejected(self):
         cfg = tiny_config(num_tables=2)

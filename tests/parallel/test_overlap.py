@@ -2,6 +2,10 @@
 
 import pytest
 
+from repro.comm.ddp import DistributedDataParallelReducer, GradientBucketer
+from repro.hw.calibration import DEFAULT_CALIBRATION
+from repro.hw.costmodel import GemmShape
+from repro.parallel.cluster import SimCluster
 from repro.parallel.overlap import overlap_mlp_training
 
 
@@ -71,3 +75,73 @@ class TestScalingBehaviour:
     def test_comm_cores_validated(self):
         with pytest.raises(ValueError):
             overlap_mlp_training(comm_cores=28)
+
+
+def _bucketed_backward_run(ranks, n_layers, n, c, k):
+    """Event-driven twin of :func:`overlap_mlp_training`: the same
+    backward GEMM charges and per-layer gradient transfers, but executed
+    as an issue-as-ready bucketed pipeline on a :class:`SimCluster` with
+    the waits at the tail -- the schedule the distributed trainer runs.
+    Returns (mean exposed wait per rank, makespan)."""
+    cluster = SimCluster(ranks, platform="cluster", backend="ccl")
+    cm = cluster.cost
+    cores = cluster.compute_cores
+    reducer = DistributedDataParallelReducer(cluster)
+    shapes = [(c, k)] * n_layers
+    buckets = GradientBucketer(shapes, cap_bytes=1.0)  # one bucket per layer
+    assert len(buckets) == n_layers
+    handles = []
+    for b in range(len(buckets)):
+        lo, hi = buckets.layer_range(b)
+        for layer in reversed(range(lo, hi)):
+            for r in cluster.ranks:
+                t = cm.gemm_time(
+                    GemmShape(m=n, n=c, k=k), impl="this_work", pass_="bwd_d", cores=cores
+                )
+                t += cm.gemm_time(
+                    GemmShape(m=k, n=c, k=n), impl="this_work", pass_="bwd_w", cores=cores
+                )
+                cluster.charge(r, t, "compute.mlp.top.bwd")
+        handles.append(reducer.issue_transfer(buckets.nbytes(b)))
+    for r in cluster.ranks:
+        for h in handles:
+            h.wait(r)
+    exposed = (
+        sum(p.get("comm.allreduce.wait") for p in cluster.profilers) / ranks
+    )
+    return exposed, max(clk.now for clk in cluster.clocks)
+
+
+class TestModelVsReality:
+    """`overlap_mlp_training`'s closed-form exposure prediction against
+    the *measured* ``exposed_virtual_s`` of a bucketed issue-as-ready
+    run on the same shapes and the same cost model.  The closed form
+    compares pass totals while the event-driven run serialises transfers
+    on a shared fabric and pays per-issue overheads, so tolerances are
+    deliberately loose -- the test pins agreement in regime and
+    magnitude, not digits."""
+
+    COMM_CORES = DEFAULT_CALIBRATION.ccl_workers  # match the ccl backend split
+
+    def test_hidden_regime_stays_mostly_hidden(self):
+        """Paper Fig. 6 shapes: the model says fully hidden; the bucketed
+        run may expose only the un-overlappable tail (the last bucket has
+        no compute behind it before the waits land)."""
+        predicted = overlap_mlp_training(comm_cores=self.COMM_CORES)
+        assert predicted.exposed_time == 0.0
+        exposed, makespan = _bucketed_backward_run(
+            ranks=8, n_layers=5, n=1008, c=1024, k=1024
+        )
+        assert exposed < 0.15 * makespan
+
+    def test_exposed_regime_magnitudes_agree(self):
+        """Starved overlap window (tiny minibatch): both sides must report
+        substantial exposure, within a factor of ~3 of each other."""
+        predicted = overlap_mlp_training(
+            n=16, c=1024, k=1024, ranks=8, comm_cores=self.COMM_CORES
+        )
+        assert predicted.exposed_time > 0.0
+        exposed, _ = _bucketed_backward_run(ranks=8, n_layers=5, n=16, c=1024, k=1024)
+        assert exposed > 0.0
+        ratio = exposed / predicted.exposed_time
+        assert 1 / 3 < ratio < 3
