@@ -21,7 +21,13 @@ the baselines committed at the repo root.  The gate **fails** on
 * an exposed-communication regression: a distributed scenario whose
   virtual-clock ``exposed_comm_share`` (schema 4) grows more than 10
   percentage points over the baseline -- the overlap won by the
-  issue-as-ready bucketed allreduce is part of the perf contract.
+  issue-as-ready bucketed allreduce is part of the perf contract; and
+* a tiering regression (``BENCH_tiering.json``): any placement cell
+  that is not bit-identical to ``round_robin``, a modelled ``auto``
+  speedup at or below 1.0x against either static placement, or a >30%
+  erosion of that speedup against the committed baseline (virtual
+  clocks travel across runners; the ratchet only compares matching
+  ``quick`` shapes).
 
 Speedup deltas and the thread-vs-process comparison are always posted:
 a markdown summary is appended to ``$GITHUB_STEP_SUMMARY`` when set
@@ -97,11 +103,83 @@ def check_bit_identity(payload: dict, bench: str) -> list[str]:
                     f"train_e2e: {scenario} {backend}/workers={workers} "
                     "is not bit-identical to the sequential baseline"
                 )
+    elif bench == "tiering":
+        for name, cell in payload.get("results", {}).get("placements", {}).items():
+            if cell.get("bit_identical", True) is False:
+                failures.append(
+                    f"tiering: placement {name} diverged bitwise from round_robin"
+                )
     else:
         for name, cell in payload.get("results", {}).items():
             if cell.get("bit_identical", True) is False:
                 failures.append(f"hotpath: {name} optimized kernel is not bit-identical")
     return failures
+
+
+def check_tiering(
+    baseline: dict | None, fresh: dict, max_regression: float
+) -> tuple[list[str], list[str]]:
+    """(failures, notes) for the tiering bench.
+
+    Two claims travel across runners because they live on the virtual
+    clock: ``placement="auto"`` must beat both static placements in
+    modelled steps/s (the planner's reason to exist), and the modelled
+    speedup must not erode more than ``max_regression`` against the
+    committed baseline (between matching ``quick`` shapes only)."""
+    failures: list[str] = []
+    notes: list[str] = []
+    speedups = fresh.get("results", {}).get("auto_modelled_speedup", {})
+    for name, ratio in speedups.items():
+        if ratio <= 1.0:
+            failures.append(
+                f"tiering: auto modelled steps/s no longer beats {name[3:]} "
+                f"({ratio:.3f}x) -- the cost-model planner lost its edge"
+            )
+    if baseline is None:
+        notes.append("no tiering baseline: speedup ratchet skipped")
+        return failures, notes
+    if fresh.get("quick") != baseline.get("quick"):
+        notes.append(
+            "tiering ratchet skipped: quick/full shapes differ between "
+            "fresh and baseline"
+        )
+        return failures, notes
+    base_speedups = baseline.get("results", {}).get("auto_modelled_speedup", {})
+    compared = 0
+    for name, base_ratio in base_speedups.items():
+        ratio = speedups.get(name)
+        if ratio is None:
+            continue
+        compared += 1
+        if ratio < base_ratio * (1.0 - max_regression):
+            failures.append(
+                f"tiering: auto speedup {name} regressed {base_ratio:.3f}x -> "
+                f"{ratio:.3f}x (>{max_regression:.0%} below baseline)"
+            )
+    notes.append(f"tiering ratchet compared {compared} speedup ratios")
+    return failures, notes
+
+
+def tiering_summary_md(fresh: dict) -> str:
+    """Markdown: the placement sweep table of the tiering bench."""
+    placements = fresh.get("results", {}).get("placements", {})
+    if not placements:
+        return ""
+    lines = [
+        "### Embedding tiering (modelled, virtual clocks)",
+        "",
+        "| placement | modelled steps/s | wall steps/s | tiered tables | bitwise |",
+        "|---|---|---|---|---|",
+    ]
+    for name, cell in placements.items():
+        lines.append(
+            f"| {name} | {cell.get('modelled_steps_per_s', 0.0):.2f} | "
+            f"{cell.get('wall_steps_per_s', 0.0):.3f} | "
+            f"{cell.get('tiered_tables', 0)} | "
+            f"{'yes' if cell.get('bit_identical') else 'NO'} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
 
 
 def check_train_regressions(
@@ -337,6 +415,8 @@ def main(argv=None) -> int:
     parser.add_argument("--train-fresh", type=Path, default=None)
     parser.add_argument("--hotpath-baseline", type=Path, default=None)
     parser.add_argument("--hotpath-fresh", type=Path, default=None)
+    parser.add_argument("--tiering-baseline", type=Path, default=None)
+    parser.add_argument("--tiering-fresh", type=Path, default=None)
     parser.add_argument(
         "--max-regression", type=float, default=MAX_REGRESSION,
         help="allowed fractional drop before the gate fails (default 0.30)",
@@ -379,6 +459,19 @@ def main(argv=None) -> int:
             f, n = check_hotpath_regressions(base_hot, fresh_hot, args.max_regression)
             failures += f
             notes += n
+
+    if args.tiering_fresh is not None:
+        fresh_tier = _load(args.tiering_fresh)
+        failures += check_bit_identity(fresh_tier, "tiering")
+        base_tier = (
+            _load(args.tiering_baseline)
+            if args.tiering_baseline is not None and args.tiering_baseline.exists()
+            else None
+        )
+        f, n = check_tiering(base_tier, fresh_tier, args.max_regression)
+        failures += f
+        notes += n
+        summary_parts.append(tiering_summary_md(fresh_tier))
 
     summary = "\n".join(summary_parts)
     if notes:

@@ -170,6 +170,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also/instead write the raw span records as versioned JSONL "
         "(the lossless format 'repro trace' reads back)",
     )
+    pl = sub.add_parser(
+        "plan",
+        help="preview the embedding placement & tiering plan of a RunSpec",
+    )
+    pl.add_argument("--spec", required=True, metavar="JSON", help="RunSpec JSON file")
+    pl.add_argument(
+        "--ranks", type=int, default=None, help="override parallel.ranks"
+    )
+    pl.add_argument(
+        "--placement", default=None,
+        help="override parallel.placement (round_robin / balanced / auto)",
+    )
+    pl.add_argument(
+        "--tables", action="store_true",
+        help="also print the per-table plan (mode, hot rows, coverage)",
+    )
     tc = sub.add_parser(
         "trace", help="inspect a trace JSONL: per-stage table, Chrome export"
     )
@@ -329,6 +345,29 @@ def _dispatch(args: argparse.Namespace) -> str:
                 }
                 out = format_table([row], title=f"Training run '{spec.name}'")
                 out += "\n\n" + timer.summary()
+                if distributed:
+                    from repro.parallel.placement import placement_stats
+
+                    pstats = placement_stats(
+                        trainer.dist.cfg,
+                        trainer.dist.owners,
+                        trainer.dist.cluster.n_ranks,
+                    )
+                    prow = [
+                        {
+                            "rank": r,
+                            "tables": pstats.tables_per_rank[r],
+                            "embedding_mb": pstats.bytes_per_rank[r] / 2**20,
+                        }
+                        for r in range(trainer.dist.cluster.n_ranks)
+                    ]
+                    out += "\n\n" + format_table(
+                        prow,
+                        title=(
+                            f"Placement ({spec.parallel.placement}): memory "
+                            f"imbalance {pstats.memory_imbalance:.2f}"
+                        ),
+                    )
                 if tracing:
                     from repro.obs import stage_table, write_chrome_trace, write_jsonl
 
@@ -350,6 +389,82 @@ def _dispatch(args: argparse.Namespace) -> str:
         finally:
             if tracing:
                 set_tracer(None)
+        return out
+    if name == "plan":
+        import dataclasses
+
+        from repro.parallel.placement import make_placement, placement_stats
+        from repro.tiering.planner import plan_placement, profile_snapshot
+        from repro.train import RunSpec
+
+        _require_file(args.spec, "repro plan")
+        spec = RunSpec.load(args.spec)
+        par_overrides = {}
+        if args.ranks is not None:
+            if args.ranks < 1:
+                raise SystemExit("repro plan: --ranks must be >= 1")
+            par_overrides["ranks"] = args.ranks
+        if args.placement is not None:
+            par_overrides["placement"] = args.placement
+        if par_overrides:
+            spec = dataclasses.replace(
+                spec, parallel=dataclasses.replace(spec.parallel, **par_overrides)
+            )
+        cfg = spec.build_config()
+        ranks = spec.parallel.ranks
+        tier = spec.tiering
+        tiering_active = (
+            tier.enabled or spec.parallel.placement == "auto"
+        ) and spec.precision.storage == "fp32"
+        snapshot = (
+            profile_snapshot(spec, cfg)
+            if tiering_active and tier.profile_batches > 0
+            else None
+        )
+        plan = plan_placement(
+            cfg,
+            ranks,
+            snapshot=snapshot,
+            hot_rows=tier.hot_rows if tiering_active else 0,
+            coverage_threshold=tier.coverage_threshold,
+            min_table_rows=tier.min_table_rows,
+        )
+        if spec.parallel.placement == "auto":
+            owners = list(plan.owners)
+        else:
+            owners = make_placement(spec.parallel.placement, cfg, ranks)
+        stats = placement_stats(cfg, owners, ranks)
+        row_bytes = cfg.embedding_dim * 4
+        per_table_a2a = cfg.alltoall_bytes() / cfg.num_tables
+        rank_rows = []
+        for r in range(ranks):
+            owned = [t for t, o in enumerate(owners) if o == r]
+            hot_mb = sum(
+                int(plan.plans[t].hot_rows.size) * row_bytes for t in owned
+            ) / 2**20
+            rank_rows.append(
+                {
+                    "rank": r,
+                    "tables": len(owned),
+                    "embedding_mb": stats.bytes_per_rank[r] / 2**20,
+                    "hot_mb": hot_mb,
+                    "gather_ms": sum(plan.table_cost[t] for t in owned) * 1e3,
+                    "alltoall_mb": len(owned) * per_table_a2a / 2**20,
+                }
+            )
+        tiered = sum(1 for p in plan.plans.values() if p.mode == "hot_cold")
+        out = format_table(
+            rank_rows,
+            title=(
+                f"Placement plan '{spec.name}': {spec.parallel.placement}, "
+                f"{ranks} rank(s), {tiered}/{cfg.num_tables} tables tiered, "
+                f"memory imbalance {stats.memory_imbalance:.2f}"
+            ),
+        )
+        if args.tables:
+            out += "\n\n" + format_table(
+                plan.describe(cfg), title="Per-table storage plan"
+            )
         return out
     if name == "trace":
         from repro.obs import read_jsonl, stage_table, write_chrome_trace

@@ -95,6 +95,11 @@ class EmbeddingBag:
 
     storage = "fp32"
 
+    #: Optional callable fed every forward pass's flat index vector.
+    #: Installed by :meth:`repro.tiering.freqstats.FreqStats.attach` to
+    #: stream row-access frequencies; ``None`` costs one attribute test.
+    freq_hook = None
+
     def __init__(
         self,
         rows: int,
@@ -218,6 +223,8 @@ class EmbeddingBag:
     def forward(self, indices: np.ndarray, offsets: np.ndarray) -> np.ndarray:
         """Alg. 1: ``Y[N, E]`` with ``Y[n] = sum over bag n of W[I[s]]``."""
         indices, offsets = self._check_lookup(indices, offsets)
+        if self.freq_hook is not None:
+            self.freq_hook(indices)
         with trace("embedding.gather", rows=indices.shape[0]):
             return segment_sum(self.gather(indices), offsets)
 

@@ -148,6 +148,47 @@ class CostModel:
         frac = min(1.0, row_bytes / cal.gather_eff_saturation_bytes)
         return cal.gather_eff_min + (cal.gather_eff_max - cal.gather_eff_min) * frac
 
+    def tiered_gather_time(
+        self,
+        total_lookups: int,
+        row_bytes: float,
+        hot_traffic_fraction: float = 0.0,
+        cores: int | None = None,
+    ) -> float:
+        """Random-row read time under two-tier storage (:mod:`repro.tiering`).
+
+        ``hot_traffic_fraction`` of the look-ups hit the cache-resident
+        hot arena (``hot_gather_speedup`` faster than DRAM-random); the
+        rest fall through to the mmap cold tier (``cold_gather_slowdown``
+        slower).  At fraction 0 this prices a flat table up to the small
+        mmap derating, so the planner can compare modes on one scale.
+        """
+        bw = self.mem_bw_on(cores) * self.gather_efficiency(row_bytes)
+        factor = self.tiered_traffic_factor(hot_traffic_fraction)
+        return factor * total_lookups * row_bytes / bw
+
+    def tiered_traffic_factor(self, hot_traffic_fraction: float) -> float:
+        """Scale on row-granular random traffic under two-tier storage.
+
+        1.0 at fraction 0 (flat pricing), dropping toward
+        ``1 / hot_gather_speedup`` as the hot arena absorbs the traffic;
+        the cold remainder pays ``cold_gather_slowdown``.  Applied to
+        gathers, scatters and in-place updates alike -- all are
+        row-granular random accesses whose cost tracks the tier the row
+        lives in.
+        """
+        if not 0.0 <= hot_traffic_fraction <= 1.0:
+            raise ValueError(
+                f"hot_traffic_fraction must be in [0, 1], got {hot_traffic_fraction}"
+            )
+        if hot_traffic_fraction == 0.0:
+            return 1.0
+        cal = self.calib
+        return (
+            hot_traffic_fraction / cal.hot_gather_speedup
+            + (1.0 - hot_traffic_fraction) * cal.cold_gather_slowdown
+        )
+
     def embedding_forward_time(
         self,
         total_lookups: int,

@@ -118,6 +118,8 @@ class DistributedDLRM:
         placement: str | list[int] = "round_robin",
         pool: WorkerPool | None = None,
         bucket_mb: float = 4.0,
+        tiering: dict[int, object] | None = None,
+        tiering_cold_dir: str | None = None,
     ):
         r = cluster.n_ranks
         if cfg.num_tables < r:
@@ -145,6 +147,22 @@ class DistributedDLRM:
             )
             for rank in range(r)
         ]
+        self.tiering = tiering
+        self.tiering_cold_dir = tiering_cold_dir
+        if tiering:
+            # Per-rank tiered storage: each rank converts only the tables
+            # it owns (plans for other ranks' tables are skipped because
+            # those tables don't exist in the rank's model).  Weights
+            # carry over bit-exactly, so the tiered cluster matches the
+            # flat one bitwise for a fixed plan.
+            from repro.tiering.store import apply_tiering
+
+            for model in self.models:
+                apply_tiering(
+                    model,
+                    {t: tiering.get(t) for t in model.tables},
+                    cold_dir=tiering_cold_dir,
+                )
         self.exchange = make_exchange(exchange)
         self.reducer = DistributedDataParallelReducer(cluster)
         if bucket_mb <= 0:
@@ -176,6 +194,8 @@ class DistributedDLRM:
             gemm_impl=gemm_impl,
             placement=list(self.owners),
             bucket_mb=self.bucket_mb,
+            tiering=tiering,
+            tiering_cold_dir=tiering_cold_dir,
         )
         self.optimizer_factory: Callable[[], SGD] | None = None
 
@@ -260,9 +280,24 @@ class DistributedDLRM:
             model = self.models[r]
             with trace("phase.embedding.fwd", rank=r):
                 out = model.embedding_forward(global_batch)
-            lookups = sum(len(global_batch.indices[t]) for t in model.table_ids)
-            t = cm.embedding_forward_time(
-                lookups, len(model.table_ids) * gn, self.row_bytes,
+            # Tier-aware gather pricing: tiered tables (repro.tiering)
+            # read most rows from the cache-resident hot arena, so their
+            # random-read term is charged at the measured per-batch hit
+            # rate; flat tables keep the DRAM-random price.  Bag writes
+            # and per-table overhead are storage-independent and stay in
+            # the embedding_forward_time call.
+            flat_lookups, t = 0, 0.0
+            for tid in model.table_ids:
+                idx = global_batch.indices[tid]
+                frac = getattr(model.tables[tid], "hot_traffic_fraction", None)
+                if frac is None:
+                    flat_lookups += len(idx)
+                else:
+                    t += cm.tiered_gather_time(
+                        len(idx), self.row_bytes, frac(idx), cores=cores
+                    )
+            t += cm.embedding_forward_time(
+                flat_lookups, len(model.table_ids) * gn, self.row_bytes,
                 num_tables=len(model.table_ids), cores=cores,
             )
             cluster.charge(r, t, "compute.embedding.fwd")
@@ -410,9 +445,19 @@ class DistributedDLRM:
                     if not fused:
                         model.embedding_backward(grads_to_owner[r][t], t, global_batch)
                     lookups = len(global_batch.indices[t])
+                    # Tiered tables (repro.tiering) scatter most rows
+                    # into the hot arena: the same hit-rate factor that
+                    # discounts the forward gather scales the backward
+                    # scatter and the in-place update -- all row-granular
+                    # random traffic against the same two tiers.
+                    frac = getattr(model.tables[t], "hot_traffic_fraction", None)
+                    tier = (
+                        1.0 if frac is None
+                        else cm.tiered_traffic_factor(frac(global_batch.indices[t]))
+                    )
                     cluster.charge(
                         r,
-                        cm.embedding_backward_time(lookups, gn, self.row_bytes, 1, cores),
+                        tier * cm.embedding_backward_time(lookups, gn, self.row_bytes, 1, cores),
                         "compute.embedding.bwd",
                     )
                     stats = index_stats(
@@ -420,7 +465,7 @@ class DistributedDLRM:
                     )
                     cluster.charge(
                         r,
-                        cm.embedding_update_time(strategy_key, stats, self.row_bytes, cores),
+                        tier * cm.embedding_update_time(strategy_key, stats, self.row_bytes, cores),
                         "update.sparse",
                     )
                     if fused:

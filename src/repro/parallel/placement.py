@@ -7,11 +7,12 @@ naive round-robin can leave one socket holding most of the 96 GB while
 another holds kilobytes -- and, with P=1 look-ups per table, a matching
 imbalance in embedding compute.
 
-This module provides the paper's placement plus a size-balanced
-alternative (greedy LPT over table bytes), and the statistics needed to
-compare them.  ``DistributedDLRM`` and the analytic iteration model both
-accept an explicit placement, and an ablation bench quantifies the win
-on the MLPerf config.
+This module provides the paper's placement, a size-balanced alternative
+(greedy LPT over table bytes), and a frequency/cost-driven ``auto``
+placement backed by the tiering planner (:mod:`repro.tiering.planner`),
+plus the statistics needed to compare them.  ``DistributedDLRM``, the
+trainer and the analytic iteration model all accept an explicit
+placement; ``benchmarks/bench_tiering.py`` quantifies the differences.
 """
 
 from __future__ import annotations
@@ -30,18 +31,19 @@ def round_robin_placement(cfg: DLRMConfig, n_ranks: int) -> list[int]:
 def balanced_placement(cfg: DLRMConfig, n_ranks: int) -> list[int]:
     """Greedy longest-processing-time placement over table bytes.
 
-    Tables are assigned largest-first to the currently-lightest rank;
-    ties break toward lower rank ids so the result is deterministic.
-    Guarantees every rank gets at least one table when R <= S (largest
-    R tables seed the ranks).
+    Tables are assigned largest-first to the currently-lightest rank.
+    Loads are exact integer bytes and every comparison -- the assignment
+    order and the lightest-rank choice -- tie-breaks on the smaller id,
+    so the result is a pure function of the config, independent of dict
+    ordering or float accumulation quirks.  Guarantees every rank gets
+    at least one table when R <= S (largest R tables seed the ranks).
     """
     _validate(cfg, n_ranks)
     order = sorted(
         range(cfg.num_tables), key=lambda t: (-cfg.table_rows[t], t)
     )
     owners = [0] * cfg.num_tables
-    load = [0.0] * n_ranks
-    count = [0] * n_ranks
+    load = [0] * n_ranks
     row_bytes = cfg.embedding_dim * 4
     for i, t in enumerate(order):
         if i < n_ranks:
@@ -50,7 +52,6 @@ def balanced_placement(cfg: DLRMConfig, n_ranks: int) -> list[int]:
             rank = min(range(n_ranks), key=lambda r: (load[r], r))
         owners[t] = rank
         load[rank] += cfg.table_rows[t] * row_bytes
-        count[rank] += 1
     return owners
 
 
@@ -107,9 +108,18 @@ def placement_stats(cfg: DLRMConfig, owners: list[int], n_ranks: int) -> Placeme
     return PlacementStats(bytes_per_rank=tuple(by), tables_per_rank=tuple(cnt))
 
 
+def _auto_placement(cfg: DLRMConfig, n_ranks: int) -> list[int]:
+    """The tiering planner's cost-driven placement (lazy import: the
+    planner imports the cost model; keep base placement dependency-free)."""
+    from repro.tiering.planner import auto_placement
+
+    return auto_placement(cfg, n_ranks)
+
+
 PLACEMENTS = {
     "round_robin": round_robin_placement,
     "balanced": balanced_placement,
+    "auto": _auto_placement,
 }
 
 

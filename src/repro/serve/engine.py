@@ -58,6 +58,24 @@ class InferenceEngine:
         spec = ckpt.require_spec()
         model = spec.build_model()
         model.load_state_dict(ckpt.model_state)
+        if getattr(spec, "tiering", None) is not None and spec.tiering.enabled:
+            # Serve out-of-core too: rebuild the (deterministic) plan from
+            # the spec and split the same tables the trainer split, so a
+            # model bigger than RAM loads.  Gathers are exact copies from
+            # either tier, so predictions stay bit-identical to a flat
+            # replica -- for *any* plan.  Private hot tiers: a serving
+            # replica never forks workers that need the arena.
+            from repro.tiering.planner import plan_from_spec
+            from repro.tiering.store import apply_tiering
+
+            plan = plan_from_spec(spec)
+            if plan is not None:
+                apply_tiering(
+                    model,
+                    plan.plans,
+                    cold_dir=spec.tiering.cold_dir,
+                    share_hot=False,
+                )
         return cls(model)
 
     # -- buffers ------------------------------------------------------------

@@ -1,0 +1,46 @@
+"""Frequency-aware embedding tiering (hot/cold rows + placement planning).
+
+The paper's scaling story is bottlenecked by embedding tables, and the
+workload-characterization literature (Gupta et al., Acun et al.) shows a
+small Zipf head of rows absorbing most look-ups.  This package turns
+that skew into capacity and speed:
+
+* :mod:`repro.tiering.freqstats` -- streaming per-table row-access
+  frequency counters (exact for small tables, count-min + top-K for
+  large ones), fed from :class:`~repro.core.embedding.EmbeddingBag`
+  gathers or a profiling pass over the deterministic dataset, and
+  seedable from the serving cache's hit statistics.
+* :mod:`repro.tiering.planner` -- a placement planner that consumes a
+  frequency snapshot plus :class:`~repro.hw.costmodel.CostModel` gather
+  costs and emits a :class:`~repro.tiering.planner.TieredPlacement`
+  (per-table flat vs. hot/cold storage, plus cost-balanced table-to-rank
+  owners).  Registered as ``placement="auto"`` next to ``round_robin``
+  and ``balanced``.
+* :mod:`repro.tiering.store` -- :class:`~repro.tiering.store.TieredEmbeddingBag`,
+  a two-tier row store: pinned-hot rows in a ``multiprocessing.shared_memory``
+  arena, everything in an mmap-backed cold file, bit-identical to the
+  flat table for a fixed plan.
+"""
+
+from repro.tiering.freqstats import FreqSnapshot, FreqStats, TableFreq
+from repro.tiering.planner import (
+    TablePlan,
+    TieredPlacement,
+    auto_placement,
+    plan_from_spec,
+    plan_placement,
+)
+from repro.tiering.store import TieredEmbeddingBag, apply_tiering
+
+__all__ = [
+    "FreqSnapshot",
+    "FreqStats",
+    "TableFreq",
+    "TablePlan",
+    "TieredPlacement",
+    "TieredEmbeddingBag",
+    "apply_tiering",
+    "auto_placement",
+    "plan_from_spec",
+    "plan_placement",
+]

@@ -161,6 +161,33 @@ class ParallelSpec:
 
 
 @dataclass(frozen=True)
+class TieringSpec:
+    """Frequency-aware embedding tiering (:mod:`repro.tiering`).
+
+    ``enabled`` turns on hot/cold storage for tables the planner deems
+    worth splitting; ``placement="auto"`` in :class:`ParallelSpec`
+    additionally lets the planner choose table-to-rank owners (either
+    switch triggers the planning pass).  ``hot_rows`` is the per-table
+    pinned-hot row budget (the shared-memory arena size);
+    ``coverage_threshold`` is the minimum fraction of profiled look-ups
+    the hot set must absorb before a table is split; tables smaller than
+    ``min_table_rows`` always stay flat.  ``profile_batches``
+    deterministic dataset batches feed the frequency counters -- every
+    process that holds the spec recomputes the identical plan, which is
+    how resume and serving stay bit-exact without persisting it.
+    ``cold_dir`` hosts the mmap-backed cold files (default: a temp dir).
+    Tiering applies to FP32 storage only.
+    """
+
+    enabled: bool = False
+    hot_rows: int = 8192
+    coverage_threshold: float = 0.5
+    min_table_rows: int = 2048
+    profile_batches: int = 4
+    cold_dir: str | None = None
+
+
+@dataclass(frozen=True)
 class ScheduleSpec:
     """How long to train and what to do along the way.
 
@@ -195,6 +222,7 @@ class RunSpec:
     update: UpdateSpec = field(default_factory=UpdateSpec)
     precision: PrecisionSpec = field(default_factory=PrecisionSpec)
     parallel: ParallelSpec = field(default_factory=ParallelSpec)
+    tiering: TieringSpec = field(default_factory=TieringSpec)
     schedule: ScheduleSpec = field(default_factory=ScheduleSpec)
 
     def __post_init__(self) -> None:
@@ -241,6 +269,16 @@ class RunSpec:
             )
         if self.parallel.ranks < 1:
             raise ValueError("parallel.ranks must be >= 1")
+        from repro.parallel.placement import PLACEMENTS
+
+        if (
+            isinstance(self.parallel.placement, str)
+            and self.parallel.placement not in PLACEMENTS
+        ):
+            raise ValueError(
+                f"parallel.placement {self.parallel.placement!r} not "
+                f"registered; have {sorted(PLACEMENTS)}"
+            )
         if self.parallel.exec_backend not in ("thread", "process"):
             raise ValueError(
                 f"parallel.exec_backend must be 'thread' or 'process', "
@@ -254,6 +292,20 @@ class RunSpec:
             raise ValueError(
                 "parallel.exec_backend='process' needs parallel.ranks >= 2 "
                 "(single-process runs have no ranks to place in workers)"
+            )
+        if self.tiering.hot_rows < 0:
+            raise ValueError("tiering.hot_rows must be non-negative")
+        if not 0.0 <= self.tiering.coverage_threshold <= 1.0:
+            raise ValueError("tiering.coverage_threshold must be in [0, 1]")
+        if self.tiering.min_table_rows < 0:
+            raise ValueError("tiering.min_table_rows must be non-negative")
+        if self.tiering.profile_batches < 0:
+            raise ValueError("tiering.profile_batches must be non-negative")
+        if self.tiering.enabled and self.precision.storage != "fp32":
+            raise ValueError(
+                "tiering.enabled requires precision.storage='fp32' "
+                "(Split-BF16 tables keep their lo half with the optimizer "
+                "and always stay flat)"
             )
         if self.schedule.steps < 0:
             raise ValueError("schedule.steps must be non-negative")
@@ -284,6 +336,7 @@ class RunSpec:
             "update": UpdateSpec,
             "precision": PrecisionSpec,
             "parallel": ParallelSpec,
+            "tiering": TieringSpec,
             "schedule": ScheduleSpec,
         }
         unknown = sorted(set(data) - set(sections) - {"name"})

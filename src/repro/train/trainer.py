@@ -55,6 +55,7 @@ from repro.train.checkpoint import (
     save_state,
 )
 from repro.train.spec import RunSpec
+from repro.tiering.planner import plan_from_spec
 
 
 def _spec_callbacks(spec: RunSpec) -> list[Callback]:
@@ -123,6 +124,15 @@ class Trainer:
         """Build model, data, optimizer and callbacks from a RunSpec."""
         cfg = spec.build_config()
         model = spec.build_model(cfg)
+        plan = plan_from_spec(spec, cfg)
+        if plan is not None:
+            # Tiered storage for the single-process model (owners are a
+            # distributed concern; here only the hot/cold plans apply).
+            # The plan is a pure function of the spec, so resume and
+            # serving recompute the identical one.
+            from repro.tiering.store import apply_tiering
+
+            apply_tiering(model, plan.plans, cold_dir=spec.tiering.cold_dir)
         optimizer = spec.build_optimizer()
         optimizer.register(model.parameters())
         return cls(
@@ -357,6 +367,15 @@ class DistributedTrainer(Trainer):
         cfg = spec.build_config()
         par = spec.parallel
         cluster = SimCluster(par.ranks, platform=par.platform, backend=par.backend)
+        plan = plan_from_spec(spec, cfg)
+        placement: str | list[int] = par.placement
+        tiering = None
+        if plan is not None:
+            # Frequency-informed owners supersede the blind registry
+            # entry; the per-table hot/cold plans ride into the model
+            # (and, via init_kwargs, to process-backend workers).
+            placement = list(plan.owners)
+            tiering = plan.plans if plan.tiered_tables else None
         dist = DistributedDLRM(
             cfg,
             cluster,
@@ -365,8 +384,10 @@ class DistributedTrainer(Trainer):
             engine=spec.model.engine,
             storage=spec.precision.storage,
             lo_bits=spec.precision.lo_bits,
-            placement=par.placement,
+            placement=placement,
             bucket_mb=par.bucket_mb,
+            tiering=tiering,
+            tiering_cold_dir=spec.tiering.cold_dir,
         )
         dist.attach_optimizers(spec.build_optimizer)
         return cls(

@@ -44,7 +44,10 @@ class TestCanonicalTree:
     def test_tree_sum_is_exact_sum(self, r, seed):
         bufs = rank_buffers(np.random.default_rng(seed), r)
         np.testing.assert_allclose(
-            tree_sum(bufs), np.sum(bufs, axis=0, dtype=np.float64), rtol=1e-5
+            tree_sum(bufs),
+            np.sum(bufs, axis=0, dtype=np.float64),
+            rtol=1e-5,
+            atol=1e-6,
         )
 
     def test_tree_sum_empty_rejected(self):

@@ -110,3 +110,25 @@ class TestIntegration:
         # The slow rank is the one holding the pile of tiny tables.
         bal_updates = [p.total("update.sparse") for p in bal.profilers]
         assert max(bal_updates) > 5 * np.median(bal_updates)
+
+
+class TestAutoPlacement:
+    def test_registered_and_valid(self):
+        """placement="auto" (repro.tiering) sits next to the static two."""
+        from repro.parallel.placement import PLACEMENTS
+
+        assert set(PLACEMENTS) == {"round_robin", "balanced", "auto"}
+        owners = make_placement("auto", MLPERF, 8)
+        validate_placement(MLPERF, owners, 8)
+
+    def test_blind_auto_is_byte_balanced(self):
+        """Without frequency evidence auto degrades to LPT over bytes."""
+        auto = placement_stats(MLPERF, make_placement("auto", MLPERF, 8), 8)
+        rr = placement_stats(MLPERF, round_robin_placement(MLPERF, 8), 8)
+        assert auto.memory_imbalance <= rr.memory_imbalance
+
+    def test_balanced_is_deterministic(self):
+        """Integer byte loads + table-id tie-breaks: no float drift."""
+        for r in (2, 4, 8):
+            a = balanced_placement(MLPERF, r)
+            assert all(balanced_placement(MLPERF, r) == a for _ in range(3))

@@ -128,3 +128,65 @@ class TestTrainEvalCli:
         out = capsys.readouterr().out
         assert "Functional scoring with trained weights" in out
         assert "Serving small" in out  # sweep aligned to the checkpoint config
+
+
+class TestPlanSubcommand:
+    @pytest.fixture
+    def tiered_spec_path(self, tmp_path):
+        from repro.train import RunSpec
+
+        path = tmp_path / "spec.json"
+        RunSpec.from_dict(
+            {
+                "name": "plan-test",
+                "model": {"config": "small", "rows_cap": 300, "minibatch": 16},
+                "data": {"name": "criteo", "seed": 1},
+                "parallel": {"ranks": 2, "placement": "auto"},
+                "tiering": {
+                    "enabled": True, "hot_rows": 32,
+                    "min_table_rows": 64, "coverage_threshold": 0.05,
+                },
+                "schedule": {"steps": 2},
+            }
+        ).save(path)
+        return path
+
+    def test_plan_prints_rank_summary(self, tiered_spec_path, capsys):
+        assert main(["plan", "--spec", str(tiered_spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "plan-test" in out and "auto" in out
+        assert "hot_mb" in out and "gather_ms" in out
+        assert "memory imbalance" in out
+
+    def test_plan_tables_flag(self, tiered_spec_path, capsys):
+        assert main(["plan", "--spec", str(tiered_spec_path), "--tables"]) == 0
+        out = capsys.readouterr().out
+        assert "hot_cold" in out and "coverage" in out
+
+    def test_plan_overrides(self, tiered_spec_path, capsys):
+        assert main(
+            ["plan", "--spec", str(tiered_spec_path),
+             "--placement", "round_robin", "--ranks", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "round_robin" in out and "4 rank(s)" in out
+
+    def test_plan_requires_spec_file(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--spec", "/nonexistent.json"])
+
+    def test_train_prints_placement_stats(self, tmp_path, capsys):
+        from repro.train import RunSpec
+
+        path = tmp_path / "dist.json"
+        RunSpec.from_dict(
+            {
+                "name": "cli-dist",
+                "model": {"config": "small", "rows_cap": 200, "minibatch": 16},
+                "parallel": {"ranks": 2},
+                "schedule": {"steps": 2, "eval_size": 64},
+            }
+        ).save(path)
+        assert main(["train", "--spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Placement (round_robin)" in out and "memory" in out

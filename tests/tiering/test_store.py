@@ -1,0 +1,135 @@
+"""Tiered row store: bit-identical to a flat table, out-of-core cold tier."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.embedding import EmbeddingBag
+from repro.core.model import DLRM
+from repro.tiering.planner import plan_placement
+from repro.tiering.store import TieredEmbeddingBag, apply_tiering
+from tests.conftest import random_batch, tiny_config
+from tests.tiering.test_planner import skewed_snapshot
+
+ROWS, DIM = 64, 8
+
+
+def pair(tmp_path, hot_step=3, share_hot=True):
+    """A flat table and a tiered clone (every ``hot_step``-th row hot)."""
+    flat = EmbeddingBag(ROWS, DIM, rng=np.random.default_rng(0))
+    tiered = TieredEmbeddingBag(
+        ROWS,
+        DIM,
+        weight=flat.weight,
+        hot_rows=np.arange(0, ROWS, hot_step),
+        cold_dir=str(tmp_path),
+        share_hot=share_hot,
+    )
+    return flat, tiered
+
+
+def lookup(seed=0, n=200):
+    g = np.random.default_rng(seed)
+    idx = g.integers(0, ROWS, size=n, dtype=np.int64)  # duplicates guaranteed
+    off = np.arange(0, n + 1, 4, dtype=np.int64)
+    return idx, off
+
+
+class TestBitIdentity:
+    def test_gather(self, tmp_path):
+        flat, tiered = pair(tmp_path)
+        idx, _ = lookup()
+        np.testing.assert_array_equal(tiered.gather(idx), flat.gather(idx))
+
+    def test_forward(self, tmp_path):
+        flat, tiered = pair(tmp_path)
+        idx, off = lookup()
+        np.testing.assert_array_equal(tiered.forward(idx, off), flat.forward(idx, off))
+
+    def test_scatter_add_with_duplicates(self, tmp_path):
+        flat, tiered = pair(tmp_path)
+        idx, _ = lookup(seed=1)
+        deltas = np.random.default_rng(2).standard_normal((idx.size, DIM)).astype(np.float32)
+        flat.scatter_add_rows(idx, deltas)
+        tiered.scatter_add_rows(idx, deltas)
+        np.testing.assert_array_equal(tiered.dense_weight(), flat.weight)
+
+    def test_apply_bag_updates(self, tmp_path):
+        flat, tiered = pair(tmp_path)
+        idx, off = lookup(seed=3)
+        n_bags = off.size - 1
+        g = np.random.default_rng(4)
+        bag_grads = g.standard_normal((n_bags, DIM)).astype(np.float32)
+        bag_ids = np.repeat(np.arange(n_bags), np.diff(off))
+        flat.apply_bag_updates(bag_grads, bag_ids, idx)
+        tiered.apply_bag_updates(bag_grads, bag_ids, idx)
+        np.testing.assert_array_equal(tiered.dense_weight(), flat.weight)
+
+    def test_state_dict_roundtrip(self, tmp_path):
+        flat, tiered = pair(tmp_path)
+        state = tiered.state_dict()
+        np.testing.assert_array_equal(state["weight"], flat.weight)
+        other = TieredEmbeddingBag(
+            ROWS, DIM, rng=np.random.default_rng(9),
+            hot_rows=np.arange(5), cold_dir=str(tmp_path),
+        )
+        other.load_state_dict(state)
+        np.testing.assert_array_equal(other.dense_weight(), flat.weight)
+
+
+class TestStoreMechanics:
+    def test_weight_is_read_only(self, tmp_path):
+        _, tiered = pair(tmp_path)
+        with pytest.raises(AttributeError):
+            tiered.weight = np.zeros((ROWS, DIM), dtype=np.float32)
+
+    def test_capacity_counts_hot_only(self, tmp_path):
+        _, tiered = pair(tmp_path, hot_step=8)
+        full = ROWS * DIM * 4
+        assert 0 < tiered.capacity_bytes() < full  # out-of-core footprint
+
+    def test_retier_preserves_bits(self, tmp_path):
+        flat, tiered = pair(tmp_path, hot_step=3)
+        tiered.retier(np.arange(1, ROWS, 7))
+        np.testing.assert_array_equal(tiered.dense_weight(), flat.weight)
+        idx, off = lookup(seed=5)
+        np.testing.assert_array_equal(tiered.forward(idx, off), flat.forward(idx, off))
+
+    def test_retier_over_capacity_raises(self, tmp_path):
+        _, tiered = pair(tmp_path, hot_step=8)
+        with pytest.raises(ValueError):
+            tiered.retier(np.arange(ROWS))
+
+    def test_close_removes_cold_file(self, tmp_path):
+        _, tiered = pair(tmp_path)
+        cold = tiered.cold_path
+        assert os.path.exists(cold)
+        tiered.close()
+        assert not os.path.exists(cold)
+        tiered.close()  # idempotent
+
+
+class TestApplyTiering:
+    def test_model_stays_bitwise_equal(self, tmp_path):
+        cfg = tiny_config(rows=500)
+        model = DLRM(cfg, seed=0)
+        ref = DLRM(cfg, seed=0)
+        plan = plan_placement(
+            cfg, 1, snapshot=skewed_snapshot(cfg), hot_rows=16, min_table_rows=64
+        )
+        converted = apply_tiering(model, plan.plans, cold_dir=str(tmp_path))
+        assert converted == plan.tiered_tables and converted
+        for t in converted:
+            assert isinstance(model.tables[t], TieredEmbeddingBag)
+        batch = random_batch(cfg, 16, seed=1)
+        np.testing.assert_array_equal(model.forward(batch), ref.forward(batch))
+        a, b = model.state_dict(), ref.state_dict()
+        assert all(np.array_equal(a[k], b[k]) for k in a)
+
+    def test_flat_plans_are_no_ops(self, tmp_path):
+        cfg = tiny_config(rows=500)
+        model = DLRM(cfg, seed=0)
+        plan = plan_placement(cfg, 1, hot_rows=16)  # no snapshot: all flat
+        assert apply_tiering(model, plan.plans, cold_dir=str(tmp_path)) == []
+        assert not any(isinstance(t, TieredEmbeddingBag) for t in model.tables.values())
