@@ -22,6 +22,10 @@ the baselines committed at the repo root.  The gate **fails** on
   virtual-clock ``exposed_comm_share`` (schema 4) grows more than 10
   percentage points over the baseline -- the overlap won by the
   issue-as-ready bucketed allreduce is part of the perf contract; and
+* a resilience-hook overhead blow-up: the fresh payload's projected
+  disabled-path fault-hook cost (schema 5 ``resilience`` section)
+  exceeding 2% of step time -- the fault-injection sites live in the
+  hot loops permanently and must stay plain None-checks; and
 * a tiering regression (``BENCH_tiering.json``): any placement cell
   that is not bit-identical to ``round_robin``, a modelled ``auto``
   speedup at or below 1.0x against either static placement, or a >30%
@@ -65,6 +69,11 @@ MAX_SHARE_GROWTH = 0.15
 #: erode.  Virtual clocks travel perfectly across runners, so no
 #: cpu_count matching is needed.
 MAX_EXPOSED_GROWTH = 0.10
+#: Resilience gate: projected disabled-path cost of the fault-injection
+#: hooks (percent of step time) above which the fresh run fails.  The
+#: projection is machine-local but travels as a ratio, so no cpu_count
+#: matching is needed -- and the gate needs no baseline at all.
+MAX_RESILIENCE_OVERHEAD_PCT = 2.0
 
 
 def _load(path: str | Path) -> dict:
@@ -304,6 +313,30 @@ def check_stage_regressions(baseline: dict, fresh: dict) -> tuple[list[str], lis
     return failures, notes
 
 
+def check_resilience_overhead(fresh: dict) -> tuple[list[str], list[str]]:
+    """(failures, notes) for the disabled fault-hook overhead budget.
+
+    Purely a property of the fresh payload (the budget is absolute, not
+    a ratchet).  Payloads predating schema 5 carry no ``resilience``
+    section and make no claim: the gate notes the skip instead."""
+    section = fresh.get("resilience")
+    if section is None:
+        return [], [
+            "resilience gate skipped: payload carries no resilience section (schema < 5)"
+        ]
+    pct = section.get("disabled_overhead_pct", 0.0)
+    if pct > MAX_RESILIENCE_OVERHEAD_PCT:
+        return [
+            f"train_e2e: projected disabled fault-hook overhead {pct:.3f}% exceeds "
+            f"{MAX_RESILIENCE_OVERHEAD_PCT:.0f}% of step time -- the injection "
+            "sites must stay plain None-checks"
+        ], []
+    return [], [
+        f"resilience disabled-path overhead {pct:.4f}% "
+        f"(budget {MAX_RESILIENCE_OVERHEAD_PCT:.0f}%)"
+    ]
+
+
 def check_exposed_comm(baseline: dict, fresh: dict) -> tuple[list[str], list[str]]:
     """(failures, notes) for exposed-comm share regressions.
 
@@ -430,6 +463,9 @@ def main(argv=None) -> int:
     if args.train_fresh is not None:
         fresh = _load(args.train_fresh)
         failures += check_bit_identity(fresh, "train_e2e")
+        f, n = check_resilience_overhead(fresh)
+        failures += f
+        notes += n
         if args.train_baseline is not None and args.train_baseline.exists():
             baseline = _load(args.train_baseline)
             f, n = check_train_regressions(baseline, fresh, args.max_regression)

@@ -122,6 +122,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="score a held-out batch with the trained weights of this "
         "repro.train checkpoint (and align the sweep to its config)",
     )
+    sv.add_argument(
+        "--fault", metavar="PLAN", default="",
+        help="inject replica failures and serve through them: a fault-plan "
+        "string like 'serve.replica:replica=1,action=die' (actions die/"
+        "slow/error; see repro.resilience.faults). Switches the run onto "
+        "the degradation-aware replica set and reports shed rate",
+    )
+    sv.add_argument(
+        "--error-threshold", type=int, default=3,
+        help="consecutive replica errors that open its circuit breaker",
+    )
+    sv.add_argument(
+        "--breaker-cooldown-ms", type=float, default=10.0,
+        help="virtual-time cooldown before an opened breaker half-opens",
+    )
+    sv.add_argument(
+        "--retry-attempts", type=int, default=3,
+        help="dispatch attempts per micro-batch (first try + retries)",
+    )
     tr = sub.add_parser(
         "train", help="train a DLRM from a RunSpec JSON (repro.train)"
     )
@@ -169,6 +188,38 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace-jsonl", metavar="JSONL", default=None,
         help="also/instead write the raw span records as versioned JSONL "
         "(the lossless format 'repro trace' reads back)",
+    )
+    tr.add_argument(
+        "--fault", metavar="PLAN", default=None,
+        help="arm a deterministic fault plan: 'site:key=val,...;...' "
+        "(sites train.step / worker.step / comm.exchange / "
+        "mailbox.publish / ckpt.save; actions kill/hang/raise/delay/"
+        "torn_write/corrupt; see repro.resilience.faults)",
+    )
+    tr.add_argument(
+        "--supervise", action="store_true",
+        help="run under the resilience supervisor: catch worker failures, "
+        "respawn, restore from the checkpoint ring and replay "
+        "bit-exactly (requires --ring-every or the spec's "
+        "resilience.ring_every for checkpointed recovery)",
+    )
+    tr.add_argument(
+        "--ring-dir", metavar="DIR", default=None,
+        help="checkpoint-ring directory (default: checkpoints/<run>-ring)",
+    )
+    tr.add_argument(
+        "--ring-every", type=int, default=None, metavar="STEPS",
+        help="write a ring checkpoint every N steps (0 disables the ring)",
+    )
+    tr.add_argument(
+        "--ring-keep", type=int, default=None, metavar="K",
+        help="retained ring entries; corrupt ones are quarantined and "
+        "recovery falls back to the previous entry",
+    )
+    tr.add_argument(
+        "--events-jsonl", metavar="JSONL", default=None,
+        help="write the supervisor's recovery events as JSONL "
+        "(--supervise only)",
     )
     pl = sub.add_parser(
         "plan",
@@ -294,6 +345,30 @@ def _dispatch(args: argparse.Namespace) -> str:
             )
             if ckpt is not None:
                 ckpt.spec = spec
+        res_overrides = {}
+        if args.fault is not None:
+            res_overrides["faults"] = args.fault
+        if args.ring_dir is not None:
+            res_overrides["ring_dir"] = args.ring_dir
+        if args.ring_every is not None:
+            res_overrides["ring_every"] = args.ring_every
+        if args.ring_keep is not None:
+            res_overrides["ring_keep"] = args.ring_keep
+        if args.supervise:
+            res_overrides["supervise"] = True
+        if res_overrides:
+            import dataclasses
+
+            spec = dataclasses.replace(
+                spec,
+                resilience=dataclasses.replace(spec.resilience, **res_overrides),
+            )
+            try:
+                spec.validate()
+            except ValueError as exc:
+                raise SystemExit(f"repro train: {exc}") from exc
+            if ckpt is not None:
+                ckpt.spec = spec
         if backend == "process" and not distributed:
             raise SystemExit(
                 "repro train: --backend process needs a distributed spec "
@@ -312,6 +387,85 @@ def _dispatch(args: argparse.Namespace) -> str:
             # captures the switch at executor construction to decide
             # whether workers install their own tracers.
             set_tracer(Tracer(proc="main"))
+        if args.supervise or spec.resilience.supervise:
+            from repro.resilience import Supervisor
+
+            if args.resume:
+                raise SystemExit(
+                    "repro train: --supervise restores from its checkpoint "
+                    "ring, not --resume"
+                )
+            if args.steps is not None:
+                raise SystemExit(
+                    "repro train: --supervise always runs the spec's full "
+                    "remaining budget; --steps does not apply"
+                )
+            sup = Supervisor(spec, backend=args.backend, workers=args.workers)
+            try:
+                report = sup.run()
+                trainer = sup.trainer
+                try:
+                    metrics = trainer.evaluate()
+                    row = {
+                        "run": spec.name,
+                        "steps": len(report.losses),
+                        "global_step": report.final_step,
+                        "restarts": report.restarts,
+                        "final_loss": (
+                            report.losses[-1] if report.losses else float("nan")
+                        ),
+                        **metrics,
+                    }
+                    out = format_table(
+                        [row], title=f"Supervised training run '{spec.name}'"
+                    )
+                    if report.events:
+                        erows = [
+                            {
+                                "event": e["event"],
+                                "restart": e.get("restart", ""),
+                                "step": e.get("step", ""),
+                                "detail": e.get(
+                                    "error", e.get("path", e.get("disarmed", ""))
+                                ),
+                            }
+                            for e in report.events
+                        ]
+                        out += "\n\n" + format_table(
+                            erows, title="Recovery events"
+                        )
+                    if report.checkpoint:
+                        out += f"\n\nring checkpoint: {report.checkpoint}"
+                    if args.events_jsonl:
+                        path = report.write_events(args.events_jsonl)
+                        out += f"\nrecovery events written to {path}"
+                    if tracing:
+                        from repro.obs import (
+                            stage_table,
+                            write_chrome_trace,
+                            write_jsonl,
+                        )
+
+                        spans = trainer.drain_trace_spans()
+                        out += "\n\n" + format_table(
+                            stage_table(spans),
+                            title="Per-stage wall-clock breakdown",
+                        )
+                        if args.trace:
+                            n = write_chrome_trace(spans, args.trace)
+                            out += f"\n\ntrace: {n} spans written to {args.trace}"
+                        if args.trace_jsonl:
+                            n = write_jsonl(spans, args.trace_jsonl)
+                            out += f"\ntrace: {n} spans written to {args.trace_jsonl}"
+                    if args.checkpoint:
+                        trainer.save_checkpoint(args.checkpoint)
+                        out += f"\n\ncheckpoint written to {args.checkpoint}"
+                finally:
+                    trainer.close()
+            finally:
+                if tracing:
+                    set_tracer(None)
+            return out
         overrides = (
             {"backend": args.backend, "workers": args.workers} if distributed else {}
         )
@@ -541,6 +695,24 @@ def _dispatch(args: argparse.Namespace) -> str:
             raise SystemExit("repro serve: --cache-rows must be >= 1")
         if any(b <= 0 for b in args.budgets_ms):
             raise SystemExit("repro serve: --budgets-ms values must be positive")
+        degrade = None
+        if args.fault:
+            from repro.resilience.faults import FaultPlan
+            from repro.serve import DegradePolicy
+
+            try:
+                FaultPlan.parse(args.fault)
+            except ValueError as exc:
+                raise SystemExit(f"repro serve: --fault: {exc}") from exc
+            if args.error_threshold < 1:
+                raise SystemExit("repro serve: --error-threshold must be >= 1")
+            if args.retry_attempts < 1:
+                raise SystemExit("repro serve: --retry-attempts must be >= 1")
+            degrade = DegradePolicy(
+                error_threshold=args.error_threshold,
+                cooldown_s=args.breaker_cooldown_ms * 1e-3,
+                retry_attempts=args.retry_attempts,
+            )
         params = ServeParams(
             config=args.config,
             requests=args.requests,
@@ -552,17 +724,23 @@ def _dispatch(args: argparse.Namespace) -> str:
             cache_rows=args.cache_rows,
             cache_policy=args.cache_policy,
             seed=args.seed,
+            fault=args.fault,
         )
-        sweep = sweep_budgets(params, budgets_ms=tuple(args.budgets_ms))
+        sweep = sweep_budgets(params, budgets_ms=tuple(args.budgets_ms), degrade=degrade)
+        columns = [
+            "policy", "router", "budget_ms", "batches", "batch_samples",
+            "hit_rate", "qps", "p50_ms", "p95_ms", "p99_ms",
+        ]
+        if args.fault:
+            columns += ["shed_rate", "retries", "dead_replicas"]
         table = format_table(
             sweep,
-            columns=[
-                "policy", "router", "budget_ms", "batches", "batch_samples",
-                "hit_rate", "qps", "p50_ms", "p95_ms", "p99_ms",
-            ],
+            columns=columns,
             title=(
                 f"Serving {args.config}: throughput vs p99 latency "
-                f"({args.requests} requests, {args.replicas} replicas)"
+                f"({args.requests} requests, {args.replicas} replicas"
+                + (", degradation-aware" if args.fault else "")
+                + ")"
             ),
         )
         frontier = format_table(

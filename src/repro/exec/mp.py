@@ -39,6 +39,19 @@ themselves if the parent dies mid-step (pipe EOF / parent-liveness
 polling + barrier abort).  Nested use inside a worker is defused like
 the thread pool's guard: :func:`in_worker_process` lets callers fall
 back to the thread path instead of forking from a fork.
+
+Failure semantics (:mod:`repro.resilience`): every worker stamps a
+shared-memory :class:`~repro.resilience.heartbeat.HeartbeatBoard` from
+its command loop and piggybacks a stamp on each mailbox round, the
+parent's reply deadline polls in one-second slices watching process
+liveness, and failures surface as typed
+:class:`~repro.resilience.errors.WorkerCrash` /
+:class:`~repro.resilience.errors.WorkerTimeout` errors carrying the
+worker index, its rank range, heartbeat age and exit code -- the
+diagnostics a supervisor needs to respawn and replay.  A
+:class:`~repro.resilience.faults.FaultPlan` in the recipe arms
+deterministic chaos at ``worker.step`` / ``comm.exchange`` /
+``mailbox.publish``; with no plan installed every hook is a None-check.
 """
 
 from __future__ import annotations
@@ -48,6 +61,7 @@ import os
 import pickle
 import struct
 import threading
+import time
 import traceback
 import multiprocessing as mp
 from dataclasses import dataclass
@@ -59,6 +73,9 @@ import numpy as np
 from repro.exec.pool import WorkerPool
 from repro.kernels.threads import static_partition
 from repro.obs.tracer import Tracer, drain_current, enabled as trace_enabled, set_tracer
+from repro.resilience.errors import WorkerCrash, WorkerTimeout
+from repro.resilience.heartbeat import HeartbeatBoard
+from repro.util import retry
 
 _WORKER_ENV = "_REPRO_MP_WORKER"
 
@@ -171,6 +188,10 @@ class ShmArena:
     def attach(cls, name: str, layout: ArenaLayout) -> "ShmArena":
         return cls(shared_memory.SharedMemory(name=name), layout, owner=False)
 
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
     # -- access ------------------------------------------------------------
 
     def keys(self) -> list[str]:
@@ -257,6 +278,10 @@ class ShmMailbox:
         return cls(shared_memory.SharedMemory(name=name), False)
 
     @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
     def capacity(self) -> int:
         return self._slot
 
@@ -306,6 +331,14 @@ class ShmMailbox:
             cursor += _aligned(int(n))
         return pickle.loads(payload, buffers=buffers)
 
+    def tear_header(self, seq: int) -> None:
+        """Fault injection only (``torn_write``): rewrite the slot header
+        with a stale round sequence, so peers reading round ``seq`` see
+        the seqlock tear and raise instead of consuming stale bytes."""
+        base = (seq % 2) * self._slot
+        _, npickle, nbuf = _HEADER.unpack_from(self._shm.buf, base)
+        _HEADER.pack_into(self._shm.buf, base, seq - 2, npickle, nbuf)
+
     def close(self) -> None:
         # Zero-copy gathers still referencing a slot pin the mapping;
         # the OS reclaims it at process exit.
@@ -336,6 +369,8 @@ class WorkerTransport:
         barrier,
         mailboxes: list[ShmMailbox],
         timeout: float,
+        heartbeat: HeartbeatBoard | None = None,
+        faults: Any = None,
     ):
         self.worker_index = worker_index
         self.n_workers = len(mailboxes) if mailboxes else 1
@@ -343,6 +378,11 @@ class WorkerTransport:
         self.mailboxes = mailboxes
         self.timeout = timeout
         self.seq = 0
+        #: Liveness piggyback: each round stamps (time, seq) on the
+        #: board, so the parent can tell "slow round" from "gone".
+        self.heartbeat = heartbeat
+        #: Armed FaultPlan, or None (the disabled path is one check).
+        self.faults = faults
 
     def _wait(self) -> None:
         self.barrier.wait(self.timeout)
@@ -353,9 +393,21 @@ class WorkerTransport:
         entries are read-only shared-memory views (see the mailbox's
         double-buffer lifetime rule)."""
         self.seq += 1
+        if self.heartbeat is not None:
+            self.heartbeat.stamp(self.worker_index, seq=self.seq)
+        if self.faults is not None:
+            # delay/kill/hang before the round; torn_write after publish.
+            self.faults.fire("comm.exchange", worker=self.worker_index, seq=self.seq)
         if self.n_workers == 1:
             return [payload]
-        self.mailboxes[self.worker_index].publish(payload, self.seq)
+        box = self.mailboxes[self.worker_index]
+        box.publish(payload, self.seq)
+        if self.faults is not None:
+            point = self.faults.fire(
+                "mailbox.publish", worker=self.worker_index, seq=self.seq
+            )
+            if point is not None and point.action == "torn_write":
+                box.tear_header(self.seq)
         self._wait()
         return [
             payload if i == self.worker_index else self.mailboxes[i].read(self.seq)
@@ -491,6 +543,9 @@ class ProcessRecipe:
     #: Install a wall-clock tracer in each worker (captured from the
     #: parent's ``repro.obs`` switch at executor construction).
     trace: bool = False
+    #: Armed :class:`~repro.resilience.faults.FaultPlan`, or None.  Each
+    #: worker unpickles its own copy; with None every hook is one check.
+    faults: Any = None
 
 
 @dataclass
@@ -540,6 +595,7 @@ def _worker_main(
     mailbox_names: list[str],
     arena_specs: dict[int, _ArenaSpec],
     trace_name: str | None = None,
+    heartbeat_name: str | None = None,
 ) -> None:
     os.environ[_WORKER_ENV] = "1"
     _pin_to_cores(worker_index, n_workers)
@@ -558,6 +614,7 @@ def _worker_main(
     mailboxes: list[ShmMailbox] = []
     arenas: dict[int, tuple[ShmArena, ShmArena]] = {}
     trace_box: ShmMailbox | None = None
+    heartbeat: HeartbeatBoard | None = None
     lo, hi = rank_range
     local_ranks = range(lo, hi)
     if recipe.trace:
@@ -577,8 +634,16 @@ def _worker_main(
         mailboxes = [ShmMailbox.attach(name) for name in mailbox_names]
         if trace_name is not None:
             trace_box = ShmMailbox.attach(trace_name)
+        if heartbeat_name is not None:
+            heartbeat = HeartbeatBoard.attach(heartbeat_name, n_workers)
+            heartbeat.stamp(worker_index)
         transport = WorkerTransport(
-            worker_index, barrier, mailboxes, timeout=_barrier_timeout()
+            worker_index,
+            barrier,
+            mailboxes,
+            timeout=_barrier_timeout(),
+            heartbeat=heartbeat,
+            faults=recipe.faults,
         )
         pool = SpmdRankPool(transport, local_ranks, n_ranks)
         cluster = SimCluster(**recipe.cluster_kwargs)
@@ -613,6 +678,11 @@ def _worker_main(
     try:
         while True:
             try:
+                if heartbeat is not None:
+                    # Idle-loop liveness: ~1 Hz while waiting, so a
+                    # stale age during a step means "stuck in compute
+                    # or at a barrier", not "command loop dead".
+                    heartbeat.stamp(worker_index)
                 if not conn.poll(1.0):
                     if not _parent_alive():
                         _abort_and_exit()
@@ -626,6 +696,12 @@ def _worker_main(
                 cmd = msg[0]
                 if cmd == "step":
                     _, index, lr = msg
+                    if heartbeat is not None:
+                        heartbeat.stamp(worker_index, step=index)
+                    if recipe.faults is not None:
+                        recipe.faults.fire(
+                            "worker.step", worker=worker_index, step=index
+                        )
                     for opt in dist.optimizers:
                         opt.lr = lr
                     loss = dist.train_step(prefetch.batch(index))
@@ -690,6 +766,8 @@ def _worker_main(
             box.close()
         if trace_box is not None:
             trace_box.close()
+        if heartbeat is not None:
+            heartbeat.close()
         try:
             conn.close()
         except OSError:  # pragma: no cover
@@ -755,6 +833,7 @@ class ProcessRankExecutor:
         context: str | None = None,
         prefetch_depth: int = 1,
         eval_size_hint: int = 0,
+        faults: Any = None,
     ):
         if in_worker_process():
             raise RuntimeError(
@@ -781,6 +860,8 @@ class ProcessRankExecutor:
         self._trace_boxes: list[ShmMailbox] = []
         self._model_arenas: dict[int, ShmArena] = {}
         self._opt_arenas: dict[int, ShmArena] = {}
+        self._heartbeats: HeartbeatBoard | None = None
+        self._barrier = None
         #: Captured once: workers install a tracer iff the parent had one
         #: at build time (the global switch is per process).
         self._trace = trace_enabled()
@@ -810,9 +891,24 @@ class ProcessRankExecutor:
             batch_size=batch_size,
             prefetch_depth=prefetch_depth,
             trace=self._trace,
+            faults=faults,
         )
         ranges = static_partition(n_ranks, self.n_workers)
+        #: Worker -> (lo, hi) rank range, kept for failure diagnostics.
+        self._ranges: list[tuple[int, int]] = [tuple(r) for r in ranges]
         capacity = self._mailbox_capacity(dist, batch_size, eval_size_hint, ranges)
+
+        def _create(factory: Callable[[str], Any], kind: str, index: int | str = ""):
+            # Transient shm races (EEXIST from a recycled pid's name,
+            # ENOSPC from a briefly full /dev/shm) get a fresh name and
+            # a deterministic-jitter retry instead of killing the build.
+            return retry(
+                lambda: factory(_short_name(kind, index)),
+                attempts=3,
+                backoff=0.02,
+                jitter_seed=(kind, index),
+            )
+
         try:
             arena_specs: dict[int, _ArenaSpec] = {}
             for r in range(n_ranks):
@@ -822,14 +918,24 @@ class ProcessRankExecutor:
                         dist.models[r].parameters(), dist.models[r].tables
                     )
                 )
-                mname = _short_name("m", r)
-                oname = _short_name("o", r)
-                self._model_arenas[r] = ShmArena.create(mname, model_layout)
-                self._opt_arenas[r] = ShmArena.create(oname, opt_layout)
-                arena_specs[r] = _ArenaSpec(mname, model_layout, oname, opt_layout)
+                self._model_arenas[r] = _create(
+                    lambda n, la=model_layout: ShmArena.create(n, la), "m", r
+                )
+                self._opt_arenas[r] = _create(
+                    lambda n, la=opt_layout: ShmArena.create(n, la), "o", r
+                )
+                arena_specs[r] = _ArenaSpec(
+                    self._model_arenas[r].name,
+                    model_layout,
+                    self._opt_arenas[r].name,
+                    opt_layout,
+                )
             if self.n_workers > 1:
-                names = [_short_name("b", i) for i in range(self.n_workers)]
-                self._mailboxes = [ShmMailbox.create(n, capacity) for n in names]
+                self._mailboxes = [
+                    _create(lambda n: ShmMailbox.create(n, capacity), "b", i)
+                    for i in range(self.n_workers)
+                ]
+                names = [box.name for box in self._mailboxes]
             else:
                 names = []
             if self._trace:
@@ -839,12 +945,16 @@ class ProcessRankExecutor:
                 tcap = int(
                     os.environ.get(_OBS_MAILBOX_ENV, _DEFAULT_OBS_MAILBOX_MB)
                 ) << 20
-                trace_names = [_short_name("t", i) for i in range(self.n_workers)]
                 self._trace_boxes = [
-                    ShmMailbox.create(n, tcap) for n in trace_names
+                    _create(lambda n: ShmMailbox.create(n, tcap), "t", i)
+                    for i in range(self.n_workers)
                 ]
+                trace_names = [box.name for box in self._trace_boxes]
             else:
                 trace_names = [None] * self.n_workers
+            self._heartbeats = _create(
+                lambda n: HeartbeatBoard.create(n, self.n_workers), "h"
+            )
             self._barrier = ctx.Barrier(self.n_workers)
             for i, (lo, hi) in enumerate(ranges):
                 parent_conn, child_conn = ctx.Pipe()
@@ -861,6 +971,7 @@ class ProcessRankExecutor:
                         names,
                         {r: arena_specs[r] for r in range(lo, hi)},
                         trace_names[i],
+                        self._heartbeats.name,
                     ),
                     daemon=True,
                     name=f"repro-mp-{i}",
@@ -869,8 +980,8 @@ class ProcessRankExecutor:
                 child_conn.close()
                 self._procs.append(proc)
                 self._conns.append(parent_conn)
-            for conn in self._conns:
-                self._expect_ok(conn, what="worker startup")
+            for i, conn in enumerate(self._conns):
+                self._expect_ok(conn, what="worker startup", worker=i)
         except BaseException:
             self.close()
             raise
@@ -895,16 +1006,64 @@ class ProcessRankExecutor:
 
     # -- command plumbing ----------------------------------------------------
 
-    def _expect_ok(self, conn, what: str):
+    def _diag(self, worker: int | None) -> dict[str, Any]:
+        """Typed-error ingredients for ``worker`` (all None-safe)."""
+        if worker is None or worker >= len(self._ranges):
+            return {}
+        alive = self._procs[worker].is_alive() if worker < len(self._procs) else None
+        age = self._heartbeats.age_s(worker) if self._heartbeats is not None else None
+        return {
+            "worker_index": worker,
+            "rank_range": self._ranges[worker],
+            "alive": alive,
+            "heartbeat_age": age,
+        }
+
+    def _dead_worker(self) -> int | None:
+        """The lowest-index worker whose process has exited, or None."""
+        for i, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                return i
+        return None
+
+    def _expect_ok(self, conn, what: str, worker: int | None = None):
+        """Await one worker's reply, polling in one-second slices so a
+        *peer's* sudden death (which leaves this worker stuck at the
+        barrier) surfaces as a fast typed :class:`WorkerCrash` instead
+        of a full reply-deadline stall."""
         timeout = self._timeout
+        deadline = time.monotonic() + timeout
         try:
-            if not conn.poll(timeout):
-                raise RuntimeError(f"{what}: no reply within {timeout:.0f}s")
+            while not conn.poll(min(1.0, max(0.0, deadline - time.monotonic()))):
+                dead = self._dead_worker()
+                if dead is not None and not self._conns[dead].poll(0):
+                    code = self._procs[dead].exitcode
+                    raise WorkerCrash(
+                        f"{what}: worker {dead} died without a reply "
+                        f"(exit code {code})",
+                        worker_traceback=None,
+                        **self._diag(dead),
+                    )
+                if time.monotonic() >= deadline:
+                    diag = self._diag(worker)
+                    age = diag.get("heartbeat_age")
+                    raise WorkerTimeout(
+                        f"{what}: no reply within {timeout:.0f}s "
+                        f"(worker {worker}, last heartbeat "
+                        + (f"{age:.1f}s ago)" if age is not None else "never)"),
+                        **diag,
+                    )
             status, payload = conn.recv()
         except (EOFError, OSError) as exc:
-            raise RuntimeError(f"{what}: a process-rank worker died") from exc
+            raise WorkerCrash(
+                f"{what}: a process-rank worker died", **self._diag(worker)
+            ) from exc
         if status == "error":
-            raise RuntimeError(f"{what}: worker failed:\n{payload}")
+            raise WorkerCrash(
+                f"{what}: worker failed:\n{payload}",
+                worker_traceback=payload,
+                **self._diag(worker),
+            )
         return payload
 
     def _roundtrip(self, msg: tuple, what: str) -> list[Any]:
@@ -915,9 +1074,15 @@ class ProcessRankExecutor:
                 conn.send(msg)
         except (BrokenPipeError, OSError) as exc:
             self.close()
-            raise RuntimeError(f"{what}: a process-rank worker died") from exc
+            raise WorkerCrash(
+                f"{what}: a process-rank worker died",
+                **self._diag(self._dead_worker()),
+            ) from exc
         try:
-            return [self._expect_ok(conn, what) for conn in self._conns]
+            return [
+                self._expect_ok(conn, what, worker=i)
+                for i, conn in enumerate(self._conns)
+            ]
         except RuntimeError:
             self.close()
             raise
@@ -1018,6 +1183,13 @@ class ProcessRankExecutor:
     def worker_pids(self) -> list[int]:
         return [proc.pid for proc in self._procs if proc.pid is not None]
 
+    def heartbeats(self) -> list[dict[str, Any]]:
+        """Per-worker {worker, age_s, step, seq} liveness snapshot (the
+        supervisor's failure-report ingredient); [] after close."""
+        if self._heartbeats is None:
+            return []
+        return self._heartbeats.snapshot()
+
     # -- lifecycle ----------------------------------------------------------
 
     def close(self, timeout: float = 10.0) -> None:
@@ -1031,6 +1203,14 @@ class ProcessRankExecutor:
             try:
                 conn.send(("stop",))
             except (BrokenPipeError, OSError):
+                pass
+        # Wake any worker still blocked at the barrier (a peer that died
+        # via os._exit never aborted it); idle workers are in conn.poll
+        # and never touch the barrier again, so this is always safe.
+        if self._barrier is not None:
+            try:
+                self._barrier.abort()
+            except (OSError, ValueError):  # pragma: no cover - teardown
                 pass
         for proc in self._procs:
             proc.join(timeout)
@@ -1048,10 +1228,14 @@ class ProcessRankExecutor:
         for box in self._mailboxes + self._trace_boxes:
             box.close()
             box.unlink()
+        if self._heartbeats is not None:
+            self._heartbeats.close()
+            self._heartbeats.unlink()
         self._model_arenas = {}
         self._opt_arenas = {}
         self._mailboxes = []
         self._trace_boxes = []
+        self._heartbeats = None
 
     def __enter__(self) -> "ProcessRankExecutor":
         return self

@@ -1,0 +1,101 @@
+"""Shared-memory worker heartbeats (:class:`HeartbeatBoard`).
+
+One cache-line-ish record per process-rank worker -- last stamp time
+(``time.monotonic_ns``; CLOCK_MONOTONIC is machine-wide, so parent and
+worker clocks are directly comparable), last training step, and last
+mailbox round sequence.  Workers stamp from their command loop and
+piggyback a stamp on every transport round (the mailbox round header
+already synchronizes the fleet, so a stamped sequence number doubles as
+"I made it into round N"); the parent reads ages to tell a silent hang
+from a slow step when a reply deadline expires.
+
+Stamps are advisory, not synchronized: a torn read can only misreport an
+age by one stamp interval, which is noise against the multi-second
+deadlines that consult it.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: Per-worker record: (stamp monotonic ns, step, round seq).
+_FIELDS = 3
+
+
+class HeartbeatBoard:
+    """A fixed ``(n_workers, 3)`` int64 grid in named shared memory."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, n_workers: int, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self.n_workers = n_workers
+        self._grid = np.ndarray((n_workers, _FIELDS), dtype=np.int64, buffer=shm.buf)
+
+    @classmethod
+    def create(cls, name: str, n_workers: int) -> "HeartbeatBoard":
+        nbytes = max(1, n_workers) * _FIELDS * 8
+        shm = shared_memory.SharedMemory(name=name, create=True, size=nbytes)
+        board = cls(shm, n_workers, owner=True)
+        board._grid[...] = 0
+        return board
+
+    @classmethod
+    def attach(cls, name: str, n_workers: int) -> "HeartbeatBoard":
+        return cls(shared_memory.SharedMemory(name=name), n_workers, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    # -- worker side ---------------------------------------------------------
+
+    def stamp(self, worker: int, step: int = -1, seq: int = -1) -> None:
+        """Record liveness for ``worker`` (negative step/seq = keep old)."""
+        row = self._grid[worker]
+        if step >= 0:
+            row[1] = step
+        if seq >= 0:
+            row[2] = seq
+        # Time last: a reader pairing a fresh time with a stale step only
+        # underestimates progress, never liveness.
+        row[0] = time.monotonic_ns()
+
+    # -- parent side ---------------------------------------------------------
+
+    def age_s(self, worker: int) -> float | None:
+        """Seconds since ``worker`` last stamped (None before any stamp)."""
+        stamped = int(self._grid[worker, 0])
+        if stamped == 0:
+            return None
+        return max(0.0, (time.monotonic_ns() - stamped) / 1e9)
+
+    def snapshot(self) -> list[dict[str, float | int | None]]:
+        """Per-worker {age_s, step, seq} for failure diagnostics."""
+        return [
+            {
+                "worker": w,
+                "age_s": self.age_s(w),
+                "step": int(self._grid[w, 1]),
+                "seq": int(self._grid[w, 2]),
+            }
+            for w in range(self.n_workers)
+        ]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._grid = None  # type: ignore[assignment]
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - teardown best effort
+            pass
+
+    def unlink(self) -> None:
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass

@@ -1,0 +1,102 @@
+"""Retained checkpoint ring with automatic fallback past corruption.
+
+A :class:`CheckpointRing` owns one directory of step-stamped durable
+checkpoints (``ckpt-00000040.npz`` …), keeps the newest ``keep`` files,
+and loads "the latest *good* one": a candidate failing CRC/archive
+verification is quarantined (renamed ``*.corrupt``) and the previous
+entry is tried -- so a torn or bit-flipped latest checkpoint costs a few
+extra replay steps, never the run.
+
+:class:`RingCheckpoint` is the trainer callback flavour: save every N
+steps plus one final save, all through the ring.  The supervisor
+(:mod:`repro.resilience.supervisor`) restores from the same ring after a
+worker failure.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.resilience.errors import CheckpointCorrupt
+from repro.train.callbacks import Callback
+from repro.train.checkpoint import Checkpoint, load_checkpoint
+
+_ENTRY = re.compile(r"^ckpt-(\d{8})\.npz$")
+
+
+class CheckpointRing:
+    """The newest ``keep`` checkpoints of one run, as files."""
+
+    def __init__(self, directory: str | Path, keep: int = 3):
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.directory = Path(directory)
+        self.keep = keep
+
+    def path_for(self, step: int) -> Path:
+        return self.directory / f"ckpt-{step:08d}.npz"
+
+    def entries(self) -> list[Path]:
+        """Ring files, oldest first (quarantined files excluded)."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            p for p in self.directory.iterdir() if _ENTRY.match(p.name)
+        )
+
+    def save(self, trainer) -> Path:
+        """Checkpoint ``trainer`` into the ring and prune old entries.
+
+        Idempotent per step (replay after recovery rewrites the same
+        file with the same bits -- the bit-exactness contract).
+        """
+        path = self.path_for(trainer.step)
+        trainer.save_checkpoint(path)
+        self.prune()
+        return path
+
+    def prune(self) -> None:
+        for stale in self.entries()[: -self.keep]:
+            stale.unlink(missing_ok=True)
+
+    def load_latest(self) -> tuple[Checkpoint, Path] | None:
+        """The newest verifiable checkpoint (with its path), walking
+        past -- and quarantining -- corrupt entries.  None when the ring
+        holds no loadable checkpoint."""
+        for path in reversed(self.entries()):
+            try:
+                return load_checkpoint(path, verify=True), path
+            except CheckpointCorrupt:
+                quarantined = path.with_suffix(path.suffix + ".corrupt")
+                path.replace(quarantined)
+        return None
+
+
+class RingCheckpoint(Callback):
+    """Save into a :class:`CheckpointRing` every ``every`` steps, and
+    once more at fit end (so the ring always holds the final state)."""
+
+    def __init__(self, directory: str | Path, every: int, keep: int = 3):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.ring = CheckpointRing(directory, keep=keep)
+        self.every = every
+
+    def on_step_end(self, trainer, step: int, loss: float) -> None:
+        if trainer.step % self.every == 0:
+            self._save(trainer)
+
+    def on_fit_end(self, trainer) -> None:
+        if trainer.step and trainer.step % self.every != 0:
+            self._save(trainer)
+
+    def _save(self, trainer) -> None:
+        path = self.ring.save(trainer)
+        faults = getattr(trainer, "faults", None)
+        if faults is not None:
+            point = faults.fire("ckpt.save", step=trainer.step)
+            if point is not None and point.action == "corrupt":
+                from repro.resilience.faults import corrupt_file
+
+                corrupt_file(path)

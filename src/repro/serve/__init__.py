@@ -17,6 +17,12 @@ from repro.serve.batcher import (
     poisson_stream,
 )
 from repro.serve.cache import CacheReport, EmbeddingCache
+from repro.serve.degrade import (
+    BreakerState,
+    DegradePolicy,
+    DegradedServingResult,
+    ResilientReplicaSet,
+)
 from repro.serve.driver import (
     ServeParams,
     ServingWorkload,
@@ -29,8 +35,12 @@ from repro.serve.replica import ROUTERS, ReplicaSet, ReplicaStats, Router, Servi
 from repro.serve.sla import LatencyReport, ServingCost, latency_report, sla_frontier
 
 __all__ = [
+    "BreakerState",
     "CacheReport",
+    "DegradePolicy",
+    "DegradedServingResult",
     "EmbeddingCache",
+    "ResilientReplicaSet",
     "InferenceEngine",
     "LatencyReport",
     "MicroBatch",

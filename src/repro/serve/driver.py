@@ -10,6 +10,7 @@ latencies into the throughput-vs-p99 table and SLA frontier.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -23,6 +24,9 @@ from repro.serve.batcher import MicroBatch, MicroBatcher, Request, StreamConfig,
 from repro.serve.replica import ReplicaSet, ServingResult
 from repro.serve.sla import ServingCost, sla_frontier
 from repro.util import rng_from
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serve.degrade import DegradePolicy
 
 #: Key stride scattering each user's Zipf head across the id space.
 _KEY_STRIDE = 7919
@@ -95,6 +99,9 @@ class ServeParams:
     cache_policy: str = "lru"
     platform: str = "cluster"
     seed: int = 0
+    #: Fault-plan string (``serve.replica:...``); non-empty switches the
+    #: run onto :class:`~repro.serve.degrade.ResilientReplicaSet`.
+    fault: str = ""
 
     @property
     def label(self) -> str:
@@ -105,12 +112,16 @@ def run_serving(
     params: ServeParams,
     workload: ServingWorkload | None = None,
     stream: list[Request] | None = None,
+    degrade: "DegradePolicy | None" = None,
 ) -> tuple[ServingResult, dict[str, object]]:
     """Simulate one operating point; returns (result, summary row).
 
     ``workload``/``stream`` may be passed in to share index synthesis
     across operating points (see :func:`sweep_budgets`); they must have
-    been built from the same config and seed as ``params``.
+    been built from the same config and seed as ``params``.  A non-empty
+    ``params.fault`` (or an explicit ``degrade`` policy) runs the
+    degradation-aware replica set instead of the plain one; the summary
+    row then carries the shed rate and recovery counters.
     """
     cfg = get_config(params.config)
     if workload is None:
@@ -131,13 +142,27 @@ def run_serving(
         sp.add(batches=len(batches))
     cluster = SimCluster(params.replicas, platform=params.platform)
     cost = ServingCost(cfg, socket=cluster.socket, calib=cluster.calib)
-    replicas = ReplicaSet(
-        cluster,
-        cost,
-        cache_rows=params.cache_rows,
-        cache_policy=params.cache_policy,
-        router=params.router,
-    )
+    if params.fault or degrade is not None:
+        from repro.resilience.faults import FaultPlan
+        from repro.serve.degrade import DegradePolicy, ResilientReplicaSet
+
+        replicas = ResilientReplicaSet(
+            cluster,
+            cost,
+            cache_rows=params.cache_rows,
+            cache_policy=params.cache_policy,
+            router=params.router,
+            faults=FaultPlan.parse(params.fault) if params.fault else None,
+            policy=degrade or DegradePolicy(),
+        )
+    else:
+        replicas = ReplicaSet(
+            cluster,
+            cost,
+            cache_rows=params.cache_rows,
+            cache_policy=params.cache_policy,
+            router=params.router,
+        )
     # Sort into dispatch order here (ReplicaSet.serve's own stable sort
     # is then the identity), so the prefetcher's lookahead window and
     # the replica loop consume the micro-batches in the same order.
@@ -160,11 +185,23 @@ def run_serving(
         "hit_rate": result.hit_rate,
     }
     row.update(result.report().row())
+    if params.fault or degrade is not None:
+        row.update(
+            {
+                "shed_rate": result.shed_rate,
+                "retries": result.retries,
+                "hedges": result.hedges,
+                "dead_replicas": len(result.dead_replicas),
+                "breaker_trips": result.breaker_trips,
+            }
+        )
     return result, row
 
 
 def sweep_budgets(
-    params: ServeParams, budgets_ms: tuple[float, ...] = (1.0, 2.0, 5.0, 10.0, 20.0)
+    params: ServeParams,
+    budgets_ms: tuple[float, ...] = (1.0, 2.0, 5.0, 10.0, 20.0),
+    degrade: "DegradePolicy | None" = None,
 ) -> list[dict[str, object]]:
     """Throughput-vs-p99 sweep over the micro-batcher's latency budget.
 
@@ -184,7 +221,10 @@ def sweep_budgets(
     rows = []
     for budget in budgets_ms:
         _, row = run_serving(
-            replace(params, latency_budget_ms=budget), workload=workload, stream=stream
+            replace(params, latency_budget_ms=budget),
+            workload=workload,
+            stream=stream,
+            degrade=degrade,
         )
         rows.append(row)
     return rows

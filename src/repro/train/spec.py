@@ -188,6 +188,31 @@ class TieringSpec:
 
 
 @dataclass(frozen=True)
+class ResilienceSpec:
+    """Fault injection and supervised recovery (:mod:`repro.resilience`).
+
+    ``faults`` is a fault-plan string (see
+    :meth:`repro.resilience.FaultPlan.parse`; empty = no injection and
+    every hook stays a None-check).  ``supervise`` wraps the run in the
+    restart loop: up to ``max_restarts`` respawn-restore-replay cycles
+    after typed worker failures.  ``ring_every``/``ring_keep``/
+    ``ring_dir`` configure the durable checkpoint ring the supervisor
+    restores from (``ring_every=0`` leaves ring checkpointing off;
+    the supervisor then restarts failed runs from step 0).
+    ``heartbeat_timeout`` is documentation of the reply deadline the
+    executor enforces (the env knob ``REPRO_MP_TIMEOUT`` overrides).
+    """
+
+    faults: str = ""
+    supervise: bool = False
+    max_restarts: int = 2
+    heartbeat_timeout: float = 600.0
+    ring_dir: str | None = None
+    ring_every: int = 0
+    ring_keep: int = 3
+
+
+@dataclass(frozen=True)
 class ScheduleSpec:
     """How long to train and what to do along the way.
 
@@ -223,6 +248,7 @@ class RunSpec:
     precision: PrecisionSpec = field(default_factory=PrecisionSpec)
     parallel: ParallelSpec = field(default_factory=ParallelSpec)
     tiering: TieringSpec = field(default_factory=TieringSpec)
+    resilience: ResilienceSpec = field(default_factory=ResilienceSpec)
     schedule: ScheduleSpec = field(default_factory=ScheduleSpec)
 
     def __post_init__(self) -> None:
@@ -307,6 +333,22 @@ class RunSpec:
                 "(Split-BF16 tables keep their lo half with the optimizer "
                 "and always stay flat)"
             )
+        res = self.resilience
+        if res.max_restarts < 0:
+            raise ValueError("resilience.max_restarts must be non-negative")
+        if res.heartbeat_timeout <= 0:
+            raise ValueError("resilience.heartbeat_timeout must be positive")
+        if res.ring_every < 0:
+            raise ValueError("resilience.ring_every must be non-negative")
+        if res.ring_keep < 1:
+            raise ValueError("resilience.ring_keep must be >= 1")
+        if res.faults:
+            from repro.resilience.faults import FaultPlan
+
+            try:
+                FaultPlan.parse(res.faults)
+            except ValueError as exc:
+                raise ValueError(f"resilience.faults: {exc}") from exc
         if self.schedule.steps < 0:
             raise ValueError("schedule.steps must be non-negative")
         if self.schedule.lr_schedule is not None:
@@ -337,6 +379,7 @@ class RunSpec:
             "precision": PrecisionSpec,
             "parallel": ParallelSpec,
             "tiering": TieringSpec,
+            "resilience": ResilienceSpec,
             "schedule": ScheduleSpec,
         }
         unknown = sorted(set(data) - set(sections) - {"name"})

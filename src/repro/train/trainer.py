@@ -54,6 +54,7 @@ from repro.train.checkpoint import (
     restore,
     save_state,
 )
+from repro.resilience.faults import FaultPlan
 from repro.train.spec import RunSpec
 from repro.tiering.planner import plan_from_spec
 
@@ -76,7 +77,23 @@ def _spec_callbacks(spec: RunSpec) -> list[Callback]:
     if sched.checkpoint_every:
         directory = sched.checkpoint_dir or f"checkpoints/{spec.name}"
         cbs.append(CheckpointCallback(directory, every=sched.checkpoint_every))
+    if spec.resilience.ring_every:
+        from repro.resilience.ring import RingCheckpoint
+
+        directory = spec.resilience.ring_dir or f"checkpoints/{spec.name}-ring"
+        cbs.append(
+            RingCheckpoint(
+                directory,
+                every=spec.resilience.ring_every,
+                keep=spec.resilience.ring_keep,
+            )
+        )
     return cbs
+
+
+def _spec_faults(spec: RunSpec) -> FaultPlan | None:
+    """The spec's armed fault plan, or None (the common, zero-cost case)."""
+    return FaultPlan.parse(spec.resilience.faults) if spec.resilience.faults else None
 
 
 class Trainer:
@@ -93,6 +110,7 @@ class Trainer:
         loss_normalizer: float | None = None,
         eval_size: int = 2048,
         eval_index: int = 10_000_000,
+        faults: FaultPlan | None = None,
     ):
         self.model = model
         self.optimizer = optimizer
@@ -100,6 +118,9 @@ class Trainer:
         self.batch_size = batch_size or model.cfg.minibatch
         self.callbacks = CallbackList(list(callbacks))
         self.spec = spec
+        #: Armed fault plan (chaos testing), or None -- the loop's only
+        #: cost without one is a single attribute check per step.
+        self.faults = faults
         self.loss_normalizer = loss_normalizer
         self.eval_size = eval_size
         self.eval_index = eval_index
@@ -120,8 +141,18 @@ class Trainer:
     # -- construction --------------------------------------------------------
 
     @classmethod
-    def from_spec(cls, spec: RunSpec, callbacks: Sequence[Callback] = ()) -> "Trainer":
-        """Build model, data, optimizer and callbacks from a RunSpec."""
+    def from_spec(
+        cls,
+        spec: RunSpec,
+        callbacks: Sequence[Callback] = (),
+        faults: FaultPlan | None = None,
+    ) -> "Trainer":
+        """Build model, data, optimizer and callbacks from a RunSpec.
+
+        ``faults`` overrides the spec's own fault plan -- the supervisor
+        passes its (partially disarmed) plan here on respawn so replay
+        does not re-fire a recovered failure.
+        """
         cfg = spec.build_config()
         model = spec.build_model(cfg)
         plan = plan_from_spec(spec, cfg)
@@ -144,6 +175,7 @@ class Trainer:
             spec=spec,
             eval_size=spec.schedule.eval_size,
             eval_index=spec.schedule.eval_index,
+            faults=faults if faults is not None else _spec_faults(spec),
         )
 
     @classmethod
@@ -177,6 +209,8 @@ class Trainer:
         while self.step < end and not self.should_stop:
             step = self.step
             self.callbacks.on_step_start(self, step)
+            if self.faults is not None:
+                self.faults.fire("train.step", step=step)
             with trace("train.step", rows=self.batch_size):
                 loss = self._run_step(step)
             self.losses.append(loss)
@@ -309,6 +343,7 @@ class DistributedTrainer(Trainer):
         backend: str = "thread",
         workers: int | None = None,
         mp_context: str | None = None,
+        faults: FaultPlan | None = None,
     ):
         if dist.optimizers is None:
             raise ValueError("attach_optimizers() before building a trainer")
@@ -336,6 +371,7 @@ class DistributedTrainer(Trainer):
             spec=spec,
             eval_size=eval_size,
             eval_index=eval_index,
+            faults=faults,
         )
         self.dist = dist
         if backend == "process" and in_worker_process():
@@ -350,6 +386,7 @@ class DistributedTrainer(Trainer):
                 workers=workers,
                 context=mp_context,
                 eval_size_hint=eval_size,
+                faults=faults,
             )
         elif workers is not None:
             from repro.exec.pool import set_pool_workers
@@ -363,6 +400,7 @@ class DistributedTrainer(Trainer):
         callbacks: Sequence[Callback] = (),
         backend: str | None = None,
         workers: int | None = None,
+        faults: FaultPlan | None = None,
     ) -> "DistributedTrainer":
         cfg = spec.build_config()
         par = spec.parallel
@@ -400,6 +438,7 @@ class DistributedTrainer(Trainer):
             eval_index=spec.schedule.eval_index,
             backend=backend if backend is not None else par.exec_backend,
             workers=workers if workers is not None else par.exec_workers,
+            faults=faults if faults is not None else _spec_faults(spec),
         )
 
     @classmethod
@@ -409,11 +448,13 @@ class DistributedTrainer(Trainer):
         callbacks: Sequence[Callback] = (),
         backend: str | None = None,
         workers: int | None = None,
+        faults: FaultPlan | None = None,
     ) -> "DistributedTrainer":
         if not isinstance(ckpt, Checkpoint):
             ckpt = load_checkpoint(ckpt)
         trainer = cls.from_spec(
-            ckpt.require_spec(), callbacks, backend=backend, workers=workers
+            ckpt.require_spec(), callbacks, backend=backend, workers=workers,
+            faults=faults,
         )
         trainer.load_checkpoint(ckpt)
         return trainer

@@ -1,17 +1,27 @@
-"""Small shared utilities: stable seeded RNG streams.
+"""Small shared utilities: stable seeded RNG streams, deterministic retry.
 
 NumPy's ``SeedSequence`` accepts only integers, so hierarchical stream
 labels ("table 3 of seed 7") are hashed to stable 64-bit integers first.
 Stability matters: the distributed == single-process equivalence tests
 rely on every process deriving bit-identical table weights from the same
 (seed, label) keys, regardless of which rank instantiates them.
+
+:func:`retry` is the one retry loop shared by everything that touches a
+racy resource (shared-memory segment creation in :mod:`repro.exec.mp`,
+checkpoint writes in :mod:`repro.train.checkpoint`): capped exponential
+backoff whose jitter comes from the same seeded-stream machinery, so a
+retried run sleeps the exact same schedule every time.
 """
 
 from __future__ import annotations
 
 import hashlib
+import time
+from typing import Callable, TypeVar
 
 import numpy as np
+
+T = TypeVar("T")
 
 
 def seed_key(*parts: object) -> list[int]:
@@ -29,3 +39,59 @@ def seed_key(*parts: object) -> list[int]:
 def rng_from(*parts: object) -> np.random.Generator:
     """A deterministic Generator for the stream labelled by ``parts``."""
     return np.random.default_rng(seed_key(*parts))
+
+
+def backoff_delays(
+    attempts: int,
+    backoff: float,
+    cap: float = 30.0,
+    jitter_seed: object = 0,
+) -> list[float]:
+    """The sleep schedule :func:`retry` uses, as data.
+
+    ``attempts - 1`` delays (no sleep after the final attempt): capped
+    exponential ``backoff * 2**k``, each scaled by a jitter factor in
+    ``[1.0, 1.5)`` drawn from the ``("retry", jitter_seed)`` stream --
+    deterministic for a given seed, decorrelated across seeds (give each
+    contending caller its own seed, e.g. a worker index).
+    """
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    if backoff < 0:
+        raise ValueError("backoff must be non-negative")
+    rng = rng_from("retry", jitter_seed)
+    return [
+        min(cap, backoff * (2.0**k)) * (1.0 + 0.5 * rng.random())
+        for k in range(attempts - 1)
+    ]
+
+
+def retry(
+    fn: Callable[[], T],
+    attempts: int = 3,
+    backoff: float = 0.05,
+    cap: float = 30.0,
+    jitter_seed: object = 0,
+    retry_on: tuple[type[BaseException], ...] = (OSError,),
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` up to ``attempts`` times with seeded-jitter backoff.
+
+    Retries only on ``retry_on`` exceptions (transient-by-convention:
+    ``OSError`` covers the shm ``EEXIST``/``ENOSPC`` races and torn
+    filesystem writes); anything else propagates immediately, and the
+    final attempt's exception propagates unwrapped.  The jitter schedule
+    is :func:`backoff_delays` -- a pure function of
+    ``(attempts, backoff, cap, jitter_seed)`` -- so failure handling
+    never introduces nondeterminism into an otherwise bit-exact run.
+    """
+    delays = backoff_delays(attempts, backoff, cap=cap, jitter_seed=jitter_seed)
+    for k in range(attempts):
+        try:
+            return fn()
+        except retry_on:
+            if k == attempts - 1:
+                raise
+            if delays[k] > 0:
+                sleep(delays[k])
+    raise AssertionError("unreachable")  # pragma: no cover

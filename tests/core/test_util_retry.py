@@ -1,0 +1,93 @@
+"""repro.util.retry / backoff_delays: deterministic seeded backoff."""
+
+import pytest
+
+from repro.util import backoff_delays, retry
+
+
+class TestBackoffDelays:
+    def test_length_and_exponential_shape(self):
+        delays = backoff_delays(4, 0.1, jitter_seed=0)
+        assert len(delays) == 3
+        # Exponential base grows 2x; jitter is bounded in [1.0, 1.5).
+        for k, d in enumerate(delays):
+            base = 0.1 * 2**k
+            assert base <= d < base * 1.5
+
+    def test_cap_bounds_every_delay(self):
+        delays = backoff_delays(8, 1.0, cap=2.0, jitter_seed=3)
+        assert all(d < 2.0 * 1.5 for d in delays)
+
+    def test_deterministic_per_seed(self):
+        assert backoff_delays(5, 0.05, jitter_seed=7) == backoff_delays(
+            5, 0.05, jitter_seed=7
+        )
+        assert backoff_delays(5, 0.05, jitter_seed=7) != backoff_delays(
+            5, 0.05, jitter_seed=8
+        )
+
+    def test_string_seeds_accepted(self):
+        a = backoff_delays(3, 0.05, jitter_seed="ckpt.npz")
+        assert a == backoff_delays(3, 0.05, jitter_seed="ckpt.npz")
+
+    def test_one_attempt_means_no_delays(self):
+        assert backoff_delays(1, 0.1) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            backoff_delays(0, 0.1)
+        with pytest.raises(ValueError):
+            backoff_delays(3, -0.1)
+
+
+class TestRetry:
+    def test_succeeds_after_transient_failures(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        slept = []
+        assert retry(flaky, attempts=3, backoff=0.01, sleep=slept.append) == "ok"
+        assert len(calls) == 3
+        assert slept == backoff_delays(3, 0.01)
+
+    def test_final_failure_propagates_unwrapped(self):
+        def always():
+            raise OSError("permanent")
+
+        with pytest.raises(OSError, match="permanent"):
+            retry(always, attempts=2, backoff=0.0, sleep=lambda s: None)
+
+    def test_non_retryable_errors_raise_immediately(self):
+        calls = []
+
+        def typed():
+            calls.append(1)
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            retry(typed, attempts=5, backoff=0.0, sleep=lambda s: None)
+        assert len(calls) == 1
+
+    def test_retry_on_widens_the_net(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise KeyError("once")
+            return 42
+
+        out = retry(
+            flaky, attempts=2, backoff=0.0, retry_on=(KeyError,), sleep=lambda s: None
+        )
+        assert out == 42 and len(calls) == 2
+
+    def test_first_success_skips_sleeping(self):
+        slept = []
+        assert retry(lambda: 1, attempts=5, backoff=1.0, sleep=slept.append) == 1
+        assert slept == []

@@ -268,6 +268,80 @@ class TestNestedGuard:
         trainer.fit(1)
 
 
+class TestTypedFailures:
+    """Fault-injected failures surface as the typed taxonomy of
+    :mod:`repro.resilience.errors`, with per-worker diagnostics."""
+
+    def test_hang_becomes_typed_timeout(self, monkeypatch):
+        from repro.resilience import FaultPlan, WorkerTimeout
+
+        monkeypatch.setenv("REPRO_MP_TIMEOUT", "1")
+        dist, dataset = build_dist(tiny_spec())
+        plan = FaultPlan.parse("worker.step:step=1,worker=0,action=hang,seconds=4")
+        executor = ProcessRankExecutor(
+            dist, dataset, batch_size=32, workers=2, faults=plan
+        )
+        try:
+            executor.step(0, lr=0.05)
+            with pytest.raises(WorkerTimeout, match="no reply within") as err:
+                executor.step(1, lr=0.05)
+            assert err.value.worker_index == 0
+            assert err.value.rank_range[0] == 0
+            assert err.value.alive is True  # hung, not dead
+            assert err.value.heartbeat_age is not None
+            assert err.value.heartbeat_age >= 0.0
+        finally:
+            executor.close()
+
+    def test_kill_becomes_typed_crash(self):
+        from repro.resilience import FaultPlan, WorkerCrash
+
+        dist, dataset = build_dist(tiny_spec())
+        plan = FaultPlan.parse("worker.step:step=1,worker=0,action=kill")
+        executor = ProcessRankExecutor(
+            dist, dataset, batch_size=32, workers=2, faults=plan
+        )
+        executor.step(0, lr=0.05)
+        with pytest.raises(WorkerCrash, match="died") as err:
+            executor.step(1, lr=0.05)
+        assert err.value.worker_index == 0
+        assert executor._closed
+        for pid in executor.worker_pids():
+            _wait_gone(pid, timeout=10.0)
+
+    def test_heartbeats_visible_to_parent(self):
+        dist, dataset = build_dist(tiny_spec())
+        executor = ProcessRankExecutor(dist, dataset, batch_size=32, workers=2)
+        try:
+            executor.step(0, lr=0.05)
+            beats = executor.heartbeats()
+            assert len(beats) == executor.n_workers
+            for b in beats:
+                assert b["age_s"] is not None and b["age_s"] >= 0.0
+                assert b["step"] == 0
+        finally:
+            executor.close()
+
+    @pytest.mark.skipif(
+        not os.path.isdir("/dev/shm"), reason="POSIX shm mount required"
+    )
+    def test_no_shm_leaks_after_worker_kill(self):
+        from repro.resilience import FaultPlan
+
+        before = set(os.listdir("/dev/shm"))
+        dist, dataset = build_dist(tiny_spec())
+        plan = FaultPlan.parse("worker.step:step=1,worker=0,action=kill")
+        executor = ProcessRankExecutor(
+            dist, dataset, batch_size=32, workers=2, faults=plan
+        )
+        executor.step(0, lr=0.05)
+        with pytest.raises(RuntimeError):
+            executor.step(1, lr=0.05)
+        assert executor._closed  # the failure path tore down + unlinked
+        leaked = set(os.listdir("/dev/shm")) - before
+        assert not leaked, f"leaked shm blocks: {sorted(leaked)}"
+
+
 def _alive(pid: int) -> bool:
     try:
         os.kill(pid, 0)
