@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Dead-link checker for the markdown docs (README.md + docs/ + *.md).
+
+Verifies every *local* markdown link target -- ``[text](path)`` and
+``[text](path#anchor)`` -- resolves to an existing file or directory
+relative to the linking file, and that anchors into markdown files match
+a heading.  External links (http/https/mailto) are not fetched: CI must
+stay hermetic.  Exit 1 lists every broken link.
+
+Usage::
+
+    python docs/check_links.py            # repo root inferred
+    python docs/check_links.py --root .   # explicit
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: [text](target) -- excluding images' leading '!' is unnecessary: image
+#: targets must resolve too.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _anchor_of(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, drop punctuation."""
+    slug = heading.strip().lower()
+    # Strip inline-formatting characters.  Underscores stay: GitHub keeps
+    # them in slugs (they are word characters, not punctuation).
+    slug = re.sub(r"[`*~]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def _anchors(md: Path) -> set[str]:
+    text = _CODE_FENCE.sub("", md.read_text())
+    return {_anchor_of(m.group(1)) for m in _HEADING.finditer(text)}
+
+
+def check_file(md: Path, root: Path) -> list[str]:
+    errors: list[str] = []
+    text = _CODE_FENCE.sub("", md.read_text())
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if _anchor_of(target[1:]) not in _anchors(md):
+                errors.append(f"{md.relative_to(root)}: broken anchor {target}")
+            continue
+        path_part, _, anchor = target.partition("#")
+        resolved = (md.parent / path_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{md.relative_to(root)}: missing target {target}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if _anchor_of(anchor) not in _anchors(resolved):
+                errors.append(
+                    f"{md.relative_to(root)}: missing anchor #{anchor} in {path_part}"
+                )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--root", default=str(Path(__file__).resolve().parent.parent)
+    )
+    args = ap.parse_args(argv)
+    root = Path(args.root).resolve()
+    files = sorted(
+        p
+        for p in list(root.glob("*.md")) + list((root / "docs").glob("*.md"))
+        if p.is_file()
+    )
+    errors: list[str] = []
+    for md in files:
+        errors.extend(check_file(md, root))
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"checked {len(files)} files: {len(errors)} broken link(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Generate docs/CLI.md from the live argparse tree (single source of truth).
+
+The reference page is *derived*, never hand-edited: this script walks
+``repro.cli._build_parser()`` and renders every subcommand's arguments,
+defaults, choices and epilog to markdown.  CI runs ``gen_cli.py --check``
+and fails when the committed page differs from the regenerated one, so
+the docs cannot drift from the code.
+
+Usage::
+
+    PYTHONPATH=src python docs/gen_cli.py            # rewrite docs/CLI.md
+    PYTHONPATH=src python docs/gen_cli.py --check    # exit 1 on drift
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+DEFAULT_OUT = HERE / "CLI.md"
+
+HEADER = """\
+# CLI reference
+
+<!-- GENERATED FILE - do not edit.  Regenerate with:
+     PYTHONPATH=src python docs/gen_cli.py -->
+
+Every experiment, training run and tool is reachable through one
+entrypoint (installed as ``repro``, or ``python -m repro.cli``).
+This page is generated from the argparse tree; CI fails if it drifts.
+"""
+
+
+def _clean(text: str | None) -> str:
+    return " ".join((text or "").split())
+
+
+def _flag_of(action: argparse.Action) -> str:
+    if action.option_strings:
+        flag = max(action.option_strings, key=len)
+    else:
+        flag = action.dest
+    if action.nargs == 0:
+        return f"`{flag}`"
+    metavar = action.metavar or action.dest.upper()
+    return f"`{flag} {metavar}`"
+
+
+def _default_of(action: argparse.Action) -> str:
+    if action.nargs == 0 or action.default in (None, argparse.SUPPRESS):
+        return ""
+    if isinstance(action.default, (list, tuple)):
+        return " ".join(str(v) for v in action.default)
+    return str(action.default)
+
+
+def render(parser: argparse.ArgumentParser) -> str:
+    sub_action = next(
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    )
+    lines = [HEADER]
+    lines.append("## Subcommands\n")
+    lines.append("| command | description |")
+    lines.append("| --- | --- |")
+    helps = {
+        choice.dest: _clean(choice.help)
+        for choice in sub_action._choices_actions
+    }
+    for name in sub_action.choices:
+        lines.append(f"| [`repro {name}`](#repro-{name}) | {helps.get(name, '')} |")
+    lines.append("")
+    for name, sp in sub_action.choices.items():
+        lines.append(f"## `repro {name}`\n")
+        if helps.get(name):
+            lines.append(helps[name] + "\n")
+        rows = []
+        for action in sp._actions:
+            if isinstance(action, argparse._HelpAction):
+                continue
+            help_text = _clean(action.help)
+            if action.choices:
+                help_text += f" (choices: {', '.join(map(str, action.choices))})"
+            rows.append((_flag_of(action), _default_of(action), help_text))
+        if rows:
+            lines.append("| argument | default | description |")
+            lines.append("| --- | --- | --- |")
+            for flag, default, help_text in rows:
+                lines.append(f"| {flag} | {default} | {help_text} |")
+            lines.append("")
+        if sp.epilog:
+            lines.append("```text")
+            lines.append(sp.epilog.rstrip())
+            lines.append("```")
+            lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--check", action="store_true", help="fail on drift, write nothing")
+    ap.add_argument("--out", default=str(DEFAULT_OUT))
+    args = ap.parse_args(argv)
+
+    from repro.cli import _build_parser
+
+    rendered = render(_build_parser())
+    out = Path(args.out)
+    if args.check:
+        current = out.read_text() if out.is_file() else ""
+        if current != rendered:
+            sys.stderr.write(
+                f"{out} is stale; regenerate with: "
+                "PYTHONPATH=src python docs/gen_cli.py\n"
+            )
+            return 1
+        print(f"{out} is up to date")
+        return 0
+    out.write_text(rendered)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,4 +1,11 @@
-"""Drivers for the multi-socket experiments: Figs. 9-15."""
+"""Drivers for the multi-socket experiments: Figs. 9-15.
+
+Each driver runs :func:`repro.parallel.timing.model_iteration` over a
+sweep (rank counts, backends, exchange strategies) and renders the
+paper's figure as a table.  All numbers are analytic/virtual-clock
+model outputs -- deterministic for a given config, independent of the
+host machine.
+"""
 
 from __future__ import annotations
 

@@ -10,6 +10,9 @@ Usage::
     python -m repro.cli iteration --config mlperf --ranks 16 --backend ccl
     python -m repro.cli train --spec spec.json --checkpoint run.npz --workers 4
     python -m repro.cli train --spec spec.json --backend process --workers 2 --trace out.json
+    python -m repro.cli train --spec spec.json --bucket-mb 8 --trace-jsonl run.jsonl
+    python -m repro.cli tune --spec spec.json --budget 8 --seed 0 --out tuned.json
+    python -m repro.cli tune --serve --config mlperf --sla-ms 5
     python -m repro.cli trace run.jsonl --chrome run_trace.json
     python -m repro.cli eval --checkpoint run.npz
     python -m repro.cli serve --checkpoint run.npz
@@ -142,7 +145,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="dispatch attempts per micro-batch (first try + retries)",
     )
     tr = sub.add_parser(
-        "train", help="train a DLRM from a RunSpec JSON (repro.train)"
+        "train",
+        help="train a DLRM from a RunSpec JSON (repro.train)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "performance knobs (every combination trains bit-identically):\n"
+            "  --backend/--workers   execution substrate and pool width\n"
+            "  --bucket-mb           issue-as-ready allreduce bucket cap\n"
+            "  spec data.prefetch_depth      batches synthesized ahead\n"
+            "  spec tiering.enabled / parallel.placement=auto\n"
+            "                        hot/cold embedding storage + planner-\n"
+            "                        chosen table owners\n"
+            "Run 'repro tune --spec <json>' to search these automatically;\n"
+            "docs/TUNING.md documents each knob's perf effect."
+        ),
     )
     tr.add_argument("--spec", metavar="JSON", help="path to a RunSpec JSON file")
     tr.add_argument(
@@ -220,6 +236,68 @@ def _build_parser() -> argparse.ArgumentParser:
         "--events-jsonl", metavar="JSONL", default=None,
         help="write the supervisor's recovery events as JSONL "
         "(--supervise only)",
+    )
+    tn = sub.add_parser(
+        "tune",
+        help="search RunSpec performance knobs by successive halving "
+        "(repro.tune)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "Scores are measured short runs through the real trainer.  With\n"
+            "--measure virtual (default) ranking uses the deterministic\n"
+            "simulated-cluster clocks plus cost-model substrate terms, so a\n"
+            "fixed --seed/--budget reproduces the identical winner and\n"
+            "scores on any machine; --measure wall ranks by wall-clock on\n"
+            "this machine instead.  The all-defaults arm always reaches the\n"
+            "final rung, so the winner is never worse than doing nothing."
+        ),
+    )
+    tn.add_argument("--spec", metavar="JSON", help="base RunSpec JSON file (train mode)")
+    tn.add_argument(
+        "--serve", action="store_true",
+        help="tune serving knobs (batcher policy, router, replicas, cache) "
+        "for QPS under a p99 SLA instead of training throughput",
+    )
+    tn.add_argument(
+        "--config", choices=["small", "large", "mlperf"], default="mlperf",
+        help="model config for --serve mode",
+    )
+    tn.add_argument("--qps", type=float, default=4000.0, help="--serve mean arrival rate")
+    tn.add_argument(
+        "--sla-ms", type=float, default=5.0,
+        help="--serve p99 SLA: arms over it rank by how far over they are",
+    )
+    tn.add_argument("--budget", type=int, default=8, help="arms in the starting pool")
+    tn.add_argument("--seed", type=int, default=0, help="arm-sampling seed")
+    tn.add_argument(
+        "--eta", type=int, default=2,
+        help="halving rate: keep ceil(n/eta) arms per rung, multiply steps by eta",
+    )
+    tn.add_argument(
+        "--rung-steps", type=int, default=2, metavar="N",
+        help="measured steps at rung 0 (serve mode: requests = max(64, N))",
+    )
+    tn.add_argument("--max-rungs", type=int, default=3)
+    tn.add_argument(
+        "--warmup", type=int, default=2,
+        help="untimed steps discarded before each measured window",
+    )
+    tn.add_argument(
+        "--measure", choices=["virtual", "wall"], default="virtual",
+        help="scoring clock: deterministic virtual (default) or wall-clock",
+    )
+    tn.add_argument(
+        "--mutants", type=int, default=1,
+        help="bottleneck-steered children spawned per rung from top survivors",
+    )
+    tn.add_argument(
+        "--out", metavar="JSON", default=None,
+        help="write the winning RunSpec here ('repro train --spec' accepts it)",
+    )
+    tn.add_argument(
+        "--report", metavar="JSONL", default=None,
+        help="write the TUNE_SCHEMA-versioned tuning report (arms, trials, "
+        "eliminations, winner) here",
     )
     pl = sub.add_parser(
         "plan",
@@ -543,6 +621,131 @@ def _dispatch(args: argparse.Namespace) -> str:
         finally:
             if tracing:
                 set_tracer(None)
+        return out
+    if name == "tune":
+        import math
+
+        from repro.tune import (
+            SearchSpace,
+            ServeTrialRunner,
+            SuccessiveHalving,
+            TrainTrialRunner,
+            prior_step_s,
+            write_report,
+        )
+
+        if args.budget < 2:
+            raise SystemExit("repro tune: --budget must be >= 2")
+        if args.eta < 2:
+            raise SystemExit("repro tune: --eta must be >= 2")
+        if args.rung_steps < 1 or args.max_rungs < 1:
+            raise SystemExit("repro tune: --rung-steps/--max-rungs must be >= 1")
+        if args.serve:
+            import dataclasses
+            import json as _json
+
+            from repro.serve import ServeParams
+
+            base_params = ServeParams(
+                config=args.config, mean_qps=args.qps, seed=args.seed
+            )
+            space = SearchSpace.serve_space(base_params)
+            runner: object = ServeTrialRunner(base_params, sla_ms=args.sla_ms)
+            prior = None
+
+            def winner_json(overlay: dict) -> str:
+                tuned = dataclasses.replace(base_params, **overlay)
+                return _json.dumps(dataclasses.asdict(tuned), indent=2)
+
+            unit = "qps"
+        else:
+            from repro.train import RunSpec
+
+            if not args.spec:
+                raise SystemExit("repro tune: need --spec (or --serve)")
+            _require_file(args.spec, "repro tune --spec")
+            base_spec = RunSpec.load(args.spec)
+            space = SearchSpace.train_space(base_spec)
+            runner = TrainTrialRunner(
+                base_spec, warmup=args.warmup, measure=args.measure
+            )
+
+            def prior(overlay: dict) -> float:
+                return prior_step_s(base_spec.with_overrides(overlay))
+
+            def winner_json(overlay: dict) -> str:
+                return base_spec.with_overrides(overlay).to_json()
+
+            unit = "steps_per_s"
+        sha = SuccessiveHalving(
+            space,
+            runner,  # type: ignore[arg-type]
+            budget=args.budget,
+            seed=args.seed,
+            eta=args.eta,
+            rung0_steps=args.rung_steps,
+            max_rungs=args.max_rungs,
+            mutants=args.mutants,
+            prior=prior,
+        )
+        result = sha.run()
+        rows = []
+        for row in result.table_rows():
+            overlay_str = (
+                "; ".join(f"{k}={v}" for k, v in sorted(row["overlay"].items()))
+                or "(defaults)"
+            )
+            rows.append(
+                {
+                    "arm": row["arm"],
+                    "origin": row["origin"],
+                    "rung": row["rung"],
+                    "steps": row["steps"],
+                    unit: (
+                        f"{row['score']:.3f}" if math.isfinite(row["score"]) else "FAILED"
+                    ),
+                    "bottleneck": row["bottleneck"],
+                    "config": overlay_str,
+                }
+            )
+        spec_json = winner_json(result.winner.overlay)
+        mode = "serve" if args.serve else "train"
+        out = format_table(
+            rows,
+            title=(
+                f"Tuning ranking ({mode}, budget {args.budget}, seed "
+                f"{args.seed}, measure {'virtual' if args.serve else args.measure})"
+            ),
+        )
+        win = result.winner_result
+        out += (
+            f"\n\nwinner: arm {result.winner.arm_id} ({result.winner.origin}) "
+            f"-- score {win.score:.3f} {unit} at rung {win.rung} "
+            f"({win.steps} steps)"
+        )
+        if win.bottleneck is not None:
+            out += f"\nbottleneck: {win.bottleneck.hint}"
+        out += "\n\nwinning configuration:\n" + spec_json
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(spec_json + "\n")
+            out += f"\n\nwinning spec written to {args.out}"
+            if not args.serve:
+                out += f" (run: repro train --spec {args.out})"
+        if args.report:
+            n = write_report(
+                args.report,
+                result,
+                spec_json,
+                header_extra={
+                    "mode": mode,
+                    "seed": args.seed,
+                    "budget": args.budget,
+                    "eta": args.eta,
+                    "measure": "virtual" if args.serve else args.measure,
+                },
+            )
+            out += f"\ntuning report: {n} records written to {args.report}"
         return out
     if name == "plan":
         import dataclasses

@@ -129,6 +129,18 @@ class Calibration:
     #: bucket of Fig. 8, which stays ~1/3 of the optimised iteration.
     iteration_overhead_s: float = 8e-3
 
+    # --- Host execution substrate (repro.exec; priced by repro.tune) -------
+    #: Python-side dispatch cost per rank phase per step (submitting the
+    #: phase closures to the worker pool, callback bookkeeping, future
+    #: resolution).  Order-of-magnitude from the BENCH_train_e2e quick
+    #: cells: the 4-rank thread-backend step carries ~0.5-1 ms of
+    #: interpreter work that never parallelises under the GIL.
+    host_dispatch_us: float = 150.0
+    #: Fixed per-step cost of one process-backend mailbox round (seqlock
+    #: header writes, barrier entry/exit, command pipe poll) on top of
+    #: the payload copy itself.
+    mailbox_round_s: float = 400e-6
+
     # --- Communication backends (Sect. IV-C, Fig. 10/11) -------------------
     #: Fraction of a link's bandwidth one unpinned MPI progress thread can
     #: drive.

@@ -34,6 +34,9 @@ _GEMM_SMALL_LOG_FLOPS = 8.0
 _GEMM_BIG_LOG_FLOPS = 11.0
 #: Cores needed to saturate a socket's memory bandwidth.
 _BW_SATURATION_CORES = 8
+#: Pool barriers per distributed step (the fused 4-phase schedule of
+#: :mod:`repro.parallel.hybrid`): each is one host-side dispatch round.
+_HOST_PHASES_PER_STEP = 4
 
 
 @dataclass(frozen=True)
@@ -288,3 +291,61 @@ class CostModel:
     def loader_time(self, samples: int) -> float:
         """Terabyte-dataset loader cost (parses every sample it reads)."""
         return samples * self.calib.loader_us_per_sample * 1e-6
+
+    # -- host execution substrate -------------------------------------------------------------
+
+    def host_overhead_time(
+        self,
+        ranks: int,
+        exec_backend: str = "thread",
+        workers: int | None = None,
+        synth_s: float = 0.0,
+        prefetch_depth: int = 1,
+        compute_s: float = 0.0,
+        payload_bytes: float = 0.0,
+    ) -> float:
+        """Deterministic per-step cost of the *host* execution substrate.
+
+        The virtual clocks price the modelled hardware, but the Python
+        driver around them is real overhead too: per-rank-phase dispatch
+        (serialised by the GIL under the thread backend, divided across
+        worker processes under the process backend), the process
+        backend's per-step mailbox round (``payload_bytes`` of cross-rank
+        tensors through shared memory), and whatever batch-synthesis
+        time (``synth_s``) the prefetch pipeline fails to hide under
+        ``compute_s`` of step compute.  A pure function of its arguments
+        -- the ``repro.tune`` deterministic score uses it to rank the
+        ``exec_backend`` / ``exec_workers`` / ``prefetch_depth`` knobs
+        the (backend-invariant) virtual clocks cannot see.
+        """
+        if exec_backend not in ("thread", "process"):
+            raise ValueError(
+                f"exec_backend must be 'thread' or 'process', got {exec_backend!r}"
+            )
+        if ranks < 1:
+            raise ValueError("ranks must be >= 1")
+        dispatch = self.calib.host_dispatch_us * 1e-6 * _HOST_PHASES_PER_STEP
+        if ranks == 1:
+            overhead = 0.0
+            pool_width = max(1, workers or 1)
+        elif exec_backend == "thread":
+            # Python-level phase dispatch never parallelises: the pool's
+            # worker threads all contend for the one interpreter lock.
+            overhead = dispatch * ranks
+            pool_width = max(1, workers or 1)
+        else:
+            w = max(1, min(workers or ranks, ranks))
+            overhead = (
+                dispatch * math.ceil(ranks / w)
+                + self.calib.mailbox_round_s
+                + self.copy_time(payload_bytes)
+            )
+            # Process workers synthesize batches locally and prefetch on
+            # a private pool; synthesis hides like the workers>1 case.
+            pool_width = 2
+        if synth_s > 0.0:
+            if pool_width == 1:
+                overhead += synth_s  # synchronous synthesis: fully exposed
+            else:
+                overhead += max(0.0, synth_s - prefetch_depth * max(compute_s, 0.0))
+        return overhead

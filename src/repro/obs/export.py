@@ -29,22 +29,76 @@ class SchemaMismatch(RuntimeError):
 
 
 # -- JSONL ---------------------------------------------------------------------
+#
+# Every JSONL artifact the project writes (telemetry traces here, tuning
+# reports in repro.tune.report) shares one envelope: line 1 is a header
+# record carrying a ``kind`` tag and a schema-version field, every later
+# line is one payload record.  The two generic helpers below own that
+# envelope, so a new versioned artifact never re-invents the
+# header/version-check dance (or forgets the rejection half of it).
+
+
+def write_versioned_jsonl(
+    path: str | Path,
+    kind: str,
+    schema_field: str,
+    schema_version: int,
+    records: Iterable[dict[str, Any]],
+    header_extra: dict[str, Any] | None = None,
+) -> int:
+    """Write header + records; returns the record count."""
+    records = list(records)
+    header: dict[str, Any] = {
+        "type": "header",
+        "kind": kind,
+        schema_field: schema_version,
+        "records": len(records),
+    }
+    if header_extra:
+        header.update(header_extra)
+    with open(path, "w") as fh:
+        fh.write(json.dumps(header) + "\n")
+        for record in records:
+            fh.write(json.dumps(record) + "\n")
+    return len(records)
+
+
+def read_versioned_jsonl(
+    path: str | Path,
+    kind: str,
+    schema_field: str,
+    schema_version: int,
+) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Read ``(header, records)`` back, enforcing kind + schema version.
+
+    Raises :class:`SchemaMismatch` when the file was written under a
+    different schema version -- versioned artifacts are rejected rather
+    than silently misread.
+    """
+    with open(path) as fh:
+        lines = [json.loads(line) for line in fh if line.strip()]
+    if not lines or lines[0].get("type") != "header" or lines[0].get("kind") != kind:
+        raise ValueError(f"{path}: not a {kind} JSONL (missing header)")
+    header = lines[0]
+    got = header.get(schema_field)
+    if got != schema_version:
+        raise SchemaMismatch(
+            f"{path}: {schema_field} {got} != supported {schema_version}"
+        )
+    return header, lines[1:]
 
 
 def write_jsonl(spans: Iterable[dict[str, Any]], path: str | Path) -> int:
     """Write a header + one JSON record per span; returns the span count."""
     spans = list(spans)
-    header = {
-        "type": "header",
-        "kind": "repro-trace",
-        "telemetry_schema": TELEMETRY_SCHEMA,
-        "spans": len(spans),
-    }
-    with open(path, "w") as fh:
-        fh.write(json.dumps(header) + "\n")
-        for span in spans:
-            fh.write(json.dumps(span) + "\n")
-    return len(spans)
+    return write_versioned_jsonl(
+        path,
+        "repro-trace",
+        "telemetry_schema",
+        TELEMETRY_SCHEMA,
+        spans,
+        header_extra={"spans": len(spans)},
+    )
 
 
 def read_jsonl(path: str | Path) -> tuple[dict[str, Any], list[dict[str, Any]]]:
@@ -54,17 +108,9 @@ def read_jsonl(path: str | Path) -> tuple[dict[str, Any], list[dict[str, Any]]]:
     this build's -- telemetry files are versioned so consumers never
     silently misread old layouts.
     """
-    with open(path) as fh:
-        lines = [json.loads(line) for line in fh if line.strip()]
-    if not lines or lines[0].get("type") != "header":
-        raise ValueError(f"{path}: not a repro trace JSONL (missing header)")
-    header = lines[0]
-    got = header.get("telemetry_schema")
-    if got != TELEMETRY_SCHEMA:
-        raise SchemaMismatch(
-            f"{path}: telemetry schema {got} != supported {TELEMETRY_SCHEMA}"
-        )
-    return header, lines[1:]
+    return read_versioned_jsonl(
+        path, "repro-trace", "telemetry_schema", TELEMETRY_SCHEMA
+    )
 
 
 # -- Chrome trace_event --------------------------------------------------------

@@ -1,4 +1,13 @@
-"""A per-rank virtual clock for the simulated SPMD runtime."""
+"""A per-rank virtual clock for the simulated SPMD runtime.
+
+Virtual time is pure data: it advances only by explicit ``advance``
+calls with model-derived durations, never by reading a host clock, so
+clock values are **bit-identical** across execution backends, worker
+counts and machines.  That determinism is what makes virtual-clock
+throughput comparable across CI runners (``compare_bench.py``) and
+tuning runs reproducible (``repro tune --measure virtual``).  Instances
+are not thread-safe; each simulated rank owns its own clock.
+"""
 
 from __future__ import annotations
 

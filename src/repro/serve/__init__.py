@@ -6,6 +6,12 @@ turned toward the ROADMAP's serving workload: a forward-only engine
 over a synthetic query stream, an embedding-row fast-tier cache, and
 multi-socket replicas with latency/cache-aware routing -- reduced to
 p50/p95/p99 + QPS and a throughput-under-SLA frontier.
+
+Contract: inference forward is bit-identical to the training model's
+(``InferenceEngine.from_checkpoint`` scores exactly what training
+would), and the serving simulation runs on virtual clocks -- latency
+distributions, cache hit rates and degradation scenarios replay exactly
+for a given seed, on any machine.
 """
 
 from repro.serve.batcher import (

@@ -102,10 +102,18 @@ class ModelSpec:
 
 @dataclass(frozen=True)
 class DataSpec:
-    """Data source: a name in :data:`~repro.train.registry.DATASETS`."""
+    """Data source: a name in :data:`~repro.train.registry.DATASETS`.
+
+    ``prefetch_depth`` is how many future batches the
+    :class:`~repro.exec.prefetch.PrefetchLoader` schedules ahead of the
+    training step (per worker process under the process backend).
+    Batches are pure functions of ``(seed, batch_index)``, so any depth
+    is bit-identical to synchronous synthesis -- only wall-clock moves.
+    """
 
     name: str = "random"
     seed: int = 0
+    prefetch_depth: int = 1
     kwargs: dict[str, Any] = field(default_factory=dict)
 
 
@@ -272,6 +280,8 @@ class RunSpec:
             raise ValueError(
                 f"data.name {self.data.name!r} not registered; have {DATASETS.names()}"
             )
+        if self.data.prefetch_depth < 1:
+            raise ValueError("data.prefetch_depth must be >= 1")
         if self.update.name not in UPDATE_STRATEGIES:
             raise ValueError(
                 f"update.name {self.update.name!r} not registered; "
@@ -390,6 +400,58 @@ class RunSpec:
             if key in data:
                 kwargs[key] = _from_mapping(section_cls, data[key], f"RunSpec.{key}")
         return cls(**kwargs)
+
+    # -- overlay / mutation ---------------------------------------------------
+
+    def with_overrides(self, overrides: dict[str, Any]) -> "RunSpec":
+        """A new validated spec with dotted-path fields replaced.
+
+        Keys are ``"section.field"`` paths (``"parallel.bucket_mb"``,
+        ``"schedule.batch_size"``, or plain ``"name"``); values replace
+        the named field via ``dataclasses.replace``, so the result is a
+        fresh frozen spec that re-runs :meth:`validate`.  This is the
+        mutation primitive the ``repro.tune`` search uses to overlay one
+        knob assignment onto a base spec::
+
+            spec.with_overrides({"parallel.exec_backend": "process",
+                                 "schedule.batch_size": 256})
+
+        Raises ``ValueError`` on unknown sections/fields and whenever
+        the overlaid spec fails cross-field validation.
+        """
+        by_section: dict[str, dict[str, Any]] = {}
+        top: dict[str, Any] = {}
+        for path, value in overrides.items():
+            if "." not in path:
+                if path != "name":
+                    raise ValueError(
+                        f"override path {path!r} must be 'name' or 'section.field'"
+                    )
+                top[path] = value
+                continue
+            section, field_name = path.split(".", 1)
+            if "." in field_name:
+                raise ValueError(
+                    f"override path {path!r} nests too deep; use 'section.field'"
+                )
+            by_section.setdefault(section, {})[field_name] = value
+        sections = {f.name for f in fields(self)} - {"name"}
+        replacements: dict[str, Any] = dict(top)
+        for section, updates in by_section.items():
+            if section not in sections:
+                raise ValueError(
+                    f"override section {section!r} unknown; have {sorted(sections)}"
+                )
+            current = getattr(self, section)
+            known = {f.name for f in fields(current)}
+            unknown = sorted(set(updates) - known)
+            if unknown:
+                raise ValueError(
+                    f"override fields {unknown} unknown in RunSpec.{section}; "
+                    f"known: {sorted(known)}"
+                )
+            replacements[section] = dataclasses.replace(current, **updates)
+        return dataclasses.replace(self, **replacements)
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent)

@@ -136,7 +136,11 @@ class Trainer:
         #: functions of (seed, batch_index), so prefetched bits equal
         #: direct-call bits and checkpoint/resume stays bit-identical.
         #: With a 1-wide pool this is a plain synchronous call.
-        self._prefetch = PrefetchLoader(dataset, self.batch_size)
+        self._prefetch = PrefetchLoader(
+            dataset,
+            self.batch_size,
+            depth=spec.data.prefetch_depth if spec is not None else 1,
+        )
 
     # -- construction --------------------------------------------------------
 
@@ -302,6 +306,17 @@ class Trainer:
         processes' spans; call before :meth:`close`."""
         return drain_current()
 
+    def virtual_clock_s(self) -> float | None:
+        """The slowest rank's simulated-cluster clock, in virtual
+        seconds -- or None for single-process runs (no cluster).
+
+        This is the deterministic measurement surface ``repro.tune``
+        scores trials on: virtual clocks are bit-identical across
+        backends and worker counts, so the advance between two reads
+        brackets a measured run reproducibly.
+        """
+        return None
+
     def close(self) -> None:
         """Release backend resources (a no-op for in-process backends)."""
 
@@ -387,6 +402,9 @@ class DistributedTrainer(Trainer):
                 context=mp_context,
                 eval_size_hint=eval_size,
                 faults=faults,
+                prefetch_depth=(
+                    spec.data.prefetch_depth if spec is not None else 1
+                ),
             )
         elif workers is not None:
             from repro.exec.pool import set_pool_workers
@@ -518,6 +536,11 @@ class DistributedTrainer(Trainer):
         if self._executor is not None:
             return merge_spans(spans, self._executor.drain_traces())
         return spans
+
+    def virtual_clock_s(self) -> float | None:
+        if self._executor is not None:
+            return max(self._executor.clocks())
+        return max(self.dist.cluster.snapshot())
 
     def close(self) -> None:
         if self._executor is not None:

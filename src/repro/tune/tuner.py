@@ -1,0 +1,224 @@
+"""Successive-halving search over RunSpec/ServeParams overlays.
+
+The classic budgeted race: every arm runs a cheap rung (few measured
+steps), the weakest ``1 - 1/eta`` fraction is eliminated, survivors
+re-run at ``eta``-times the steps, until one arm remains or the rung
+cap is hit.  Three repo-specific twists:
+
+* **prior pruning** -- the candidate pool is oversampled and ranked by
+  the cost model's :func:`~repro.tune.priors.prior_step_s` prediction
+  before any trial runs, so rung 0 starts from topology-plausible arms;
+* **bottleneck-steered mutation** -- after each rung, the top
+  survivors spawn children by stepping the knob their
+  :class:`~repro.tune.bottleneck.Bottleneck` attribution names (a
+  comm-exposed winner races its own larger-bucket variant next rung);
+* **a protected baseline** -- the all-defaults arm (id 0) is exempt
+  from elimination, so the final ranking always contains the
+  do-nothing configuration at full rung depth and the winner is
+  guaranteed to score at least as well as it under the same clock.
+
+Determinism: arm sampling uses one seeded :class:`random.Random`,
+trials are scored on virtual clocks + cost-model terms (under
+``measure="virtual"``), mutation is a pure function of attribution,
+and every ranking tie breaks on arm id -- so a fixed ``(seed, budget)``
+reproduces the identical elimination order, winner and scores.
+
+Failed arms (crashed trials, typed worker failures) score ``-inf``:
+they rank last, eliminate first, and never abort the search.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Protocol
+
+from repro.tune.space import Overlay, SearchSpace
+from repro.tune.trial import TrialResult
+
+
+class TrialRunner(Protocol):
+    """What the tuner needs from a runner (tests inject fakes)."""
+
+    def run(
+        self, overlay: dict[str, Any], arm_id: int, steps: int, rung: int
+    ) -> TrialResult: ...
+
+
+@dataclass
+class Arm:
+    """One candidate configuration racing through the rungs."""
+
+    arm_id: int
+    overlay: Overlay
+    origin: str  # "baseline" | "sampled" | "mutant:<parent>:<knob>"
+    prior_s: float | None = None
+
+    def as_record(self) -> dict[str, Any]:
+        return {
+            "type": "arm",
+            "arm": self.arm_id,
+            "origin": self.origin,
+            "overlay": dict(self.overlay),
+            "prior_s": self.prior_s,
+        }
+
+
+@dataclass
+class TuneResult:
+    """Everything one search produced, ready for table/report rendering."""
+
+    winner: Arm
+    winner_result: TrialResult
+    arms: list[Arm]
+    rungs: list[list[TrialResult]]
+    #: (rung, arm_id) pairs in elimination order (worst first per rung).
+    eliminated: list[tuple[int, int]]
+
+    def best_results(self) -> dict[int, TrialResult]:
+        """Each arm's result at the deepest rung it reached."""
+        best: dict[int, TrialResult] = {}
+        for rung in self.rungs:
+            for res in rung:
+                best[res.arm_id] = res
+        return best
+
+    def table_rows(self) -> list[dict[str, Any]]:
+        """Final ranking, winner first; ties (and -inf) break on arm id."""
+        best = self.best_results()
+        arms = {a.arm_id: a for a in self.arms}
+        ranked = sorted(
+            best.values(), key=lambda r: (-r.rung, -r.score, r.arm_id)
+        )
+        rows = []
+        for res in ranked:
+            arm = arms[res.arm_id]
+            rows.append(
+                {
+                    "arm": res.arm_id,
+                    "origin": arm.origin,
+                    "rung": res.rung,
+                    "steps": res.steps,
+                    "ok": res.ok,
+                    "score": res.score,
+                    "step_s": res.step_s,
+                    "wall_step_s": res.wall_step_s,
+                    "bottleneck": res.bottleneck.stage if res.bottleneck else "-",
+                    "hint": res.bottleneck.hint if res.bottleneck else (res.error or "-"),
+                    "overlay": dict(res.overlay),
+                }
+            )
+        return rows
+
+
+@dataclass
+class SuccessiveHalving:
+    """The search loop.  See the module docstring for the contract."""
+
+    space: SearchSpace
+    runner: TrialRunner
+    budget: int = 8
+    seed: int = 0
+    eta: int = 2
+    rung0_steps: int = 2
+    max_rungs: int = 3
+    #: Children spawned per rung from the top survivors' bottleneck hints.
+    mutants: int = 1
+    #: Optional overlay -> predicted step seconds, for pool pruning.
+    prior: Callable[[Overlay], float] | None = None
+    _arms: list[Arm] = field(default_factory=list)
+
+    # -- pool construction ---------------------------------------------------
+
+    def _seed_arms(self) -> list[Arm]:
+        rng = random.Random(self.seed)
+        baseline = Arm(0, {}, "baseline", prior_s=self._prior_of({}))
+        n_sampled = max(0, self.budget - 1)
+        # Oversample, then keep the arms the cost model likes best.
+        candidates = self.space.sample(2 * n_sampled, rng)
+        scored = [(self._prior_of(ov), i, ov) for i, ov in enumerate(candidates)]
+        if self.prior is not None:
+            scored.sort(key=lambda t: (t[0] if t[0] is not None else math.inf, t[1]))
+        arms = [baseline]
+        for prior_s, _, overlay in scored[:n_sampled]:
+            arms.append(Arm(len(arms), overlay, "sampled", prior_s=prior_s))
+        self._arms = list(arms)
+        return arms
+
+    def _prior_of(self, overlay: Overlay) -> float | None:
+        if self.prior is None:
+            return None
+        try:
+            return self.prior(overlay)
+        except Exception:  # noqa: BLE001 -- unpriceable arms sort last
+            return None
+
+    def _mutate(
+        self, survivors: list[tuple[Arm, TrialResult]]
+    ) -> list[Arm]:
+        """Up to ``mutants`` children from the top survivors' hints."""
+        children: list[Arm] = []
+        seen = {self.space.canonical(a.overlay) for a in self._arms}
+        for arm, res in survivors:
+            if len(children) >= self.mutants:
+                break
+            bn = res.bottleneck
+            if bn is None or bn.knob is None:
+                continue
+            mutated = self.space.step(arm.overlay, bn.knob, bn.direction)
+            if mutated is None or self.space.canonical(mutated) in seen:
+                continue
+            seen.add(self.space.canonical(mutated))
+            child = Arm(
+                len(self._arms),
+                mutated,
+                f"mutant:{arm.arm_id}:{bn.knob}",
+                prior_s=self._prior_of(mutated),
+            )
+            self._arms.append(child)
+            children.append(child)
+        return children
+
+    # -- the race ------------------------------------------------------------
+
+    def run(self) -> TuneResult:
+        current = self._seed_arms()
+        rungs: list[list[TrialResult]] = []
+        eliminated: list[tuple[int, int]] = []
+        steps = self.rung0_steps
+        ranked: list[tuple[Arm, TrialResult]] = []
+        for rung_idx in range(self.max_rungs):
+            results = [
+                self.runner.run(arm.overlay, arm.arm_id, steps, rung_idx)
+                for arm in current
+            ]
+            rungs.append(results)
+            by_id = {a.arm_id: a for a in current}
+            ranked = sorted(
+                ((by_id[r.arm_id], r) for r in results),
+                key=lambda ar: (-ar[1].score, ar[1].arm_id),
+            )
+            if rung_idx == self.max_rungs - 1 or len(current) == 1:
+                break
+            keep = max(1, math.ceil(len(ranked) / self.eta))
+            survivors = ranked[:keep]
+            dropped = ranked[keep:]
+            # The baseline never eliminates: it must reach the final rung
+            # so the winner is provably >= all-defaults under one clock.
+            rescued = [ar for ar in dropped if ar[0].arm_id == 0]
+            dropped = [ar for ar in dropped if ar[0].arm_id != 0]
+            survivors += rescued
+            for arm, _ in reversed(dropped):  # worst first
+                eliminated.append((rung_idx, arm.arm_id))
+            children = self._mutate(survivors)
+            current = [a for a, _ in survivors] + children
+            steps *= self.eta
+        winner_arm, winner_result = ranked[0]
+        return TuneResult(
+            winner=winner_arm,
+            winner_result=winner_result,
+            arms=list(self._arms),
+            rungs=rungs,
+            eliminated=eliminated,
+        )

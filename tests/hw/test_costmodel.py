@@ -148,3 +148,50 @@ class TestOtherOps:
     def test_clx_slightly_faster_than_skx(self):
         s = GemmShape(2048, 2048, 2048)
         assert CostModel(CLX_8280).gemm_time(s) < CostModel(SKX_8180).gemm_time(s)
+
+
+class TestHostOverhead:
+    @pytest.fixture
+    def cm(self):
+        return CostModel(CLX_8280)
+
+    def test_single_process_is_free(self, cm):
+        assert cm.host_overhead_time(1, "thread") == 0.0
+
+    def test_thread_dispatch_scales_with_ranks(self, cm):
+        assert cm.host_overhead_time(4, "thread") == pytest.approx(
+            2 * cm.host_overhead_time(2, "thread")
+        )
+
+    def test_process_pays_mailbox_and_copy(self, cm):
+        thread = cm.host_overhead_time(2, "thread", workers=2)
+        process = cm.host_overhead_time(2, "process", workers=2, payload_bytes=1e6)
+        assert process != thread
+        assert process >= cm.calib.mailbox_round_s
+
+    def test_process_dispatch_amortised_by_workers(self, cm):
+        narrow = cm.host_overhead_time(4, "process", workers=1)
+        wide = cm.host_overhead_time(4, "process", workers=4)
+        assert wide < narrow
+
+    def test_prefetch_hides_synthesis(self, cm):
+        exposed = cm.host_overhead_time(
+            2, "thread", workers=2, synth_s=2e-3, prefetch_depth=1, compute_s=5e-4
+        )
+        hidden = cm.host_overhead_time(
+            2, "thread", workers=2, synth_s=2e-3, prefetch_depth=4, compute_s=5e-4
+        )
+        assert hidden < exposed
+
+    def test_serial_pool_cannot_hide_synthesis(self, cm):
+        base = cm.host_overhead_time(2, "thread", workers=1)
+        with_synth = cm.host_overhead_time(
+            2, "thread", workers=1, synth_s=2e-3, prefetch_depth=8, compute_s=1e-3
+        )
+        assert with_synth == pytest.approx(base + 2e-3)
+
+    def test_invalid_args_rejected(self, cm):
+        with pytest.raises(ValueError, match="exec_backend"):
+            cm.host_overhead_time(2, "gpu")
+        with pytest.raises(ValueError, match="ranks"):
+            cm.host_overhead_time(0, "thread")

@@ -190,3 +190,102 @@ class TestPlanSubcommand:
         assert main(["train", "--spec", str(path)]) == 0
         out = capsys.readouterr().out
         assert "Placement (round_robin)" in out and "memory" in out
+
+
+class TestTuneCli:
+    @pytest.fixture
+    def quick_spec(self, tmp_path):
+        from repro.train import RunSpec
+
+        path = tmp_path / "tune.json"
+        RunSpec.from_dict(
+            {
+                "name": "cli-tune",
+                "model": {"config": "small", "rows_cap": 128, "minibatch": 16},
+                "parallel": {"ranks": 2, "platform": "node"},
+                "update": {"name": "racefree", "threads": 2},
+                "schedule": {"steps": 4, "eval_size": 32},
+            }
+        ).save(path)
+        return path
+
+    def test_tune_prints_ranking_and_winner(self, quick_spec, tmp_path, capsys):
+        out_spec = tmp_path / "tuned.json"
+        report = tmp_path / "report.jsonl"
+        assert (
+            main(
+                [
+                    "tune", "--spec", str(quick_spec), "--budget", "3",
+                    "--seed", "0", "--rung-steps", "1", "--max-rungs", "2",
+                    "--warmup", "1", "--out", str(out_spec),
+                    "--report", str(report),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Tuning ranking" in out and "baseline" in out
+        assert "winning configuration" in out
+        assert out_spec.exists() and report.exists()
+
+    def test_tune_winning_spec_is_trainable(self, quick_spec, tmp_path, capsys):
+        out_spec = tmp_path / "tuned.json"
+        assert (
+            main(
+                [
+                    "tune", "--spec", str(quick_spec), "--budget", "2",
+                    "--rung-steps", "1", "--max-rungs", "1", "--warmup", "0",
+                    "--out", str(out_spec),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["train", "--spec", str(out_spec)]) == 0
+        assert "final_loss" in capsys.readouterr().out
+
+    def test_tune_report_round_trips(self, quick_spec, tmp_path, capsys):
+        from repro.tune import TUNE_SCHEMA, read_report
+
+        report = tmp_path / "report.jsonl"
+        assert (
+            main(
+                [
+                    "tune", "--spec", str(quick_spec), "--budget", "2",
+                    "--rung-steps", "1", "--max-rungs", "1", "--warmup", "0",
+                    "--report", str(report),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        header, records = read_report(report)
+        assert header["tune_schema"] == TUNE_SCHEMA
+        assert any(r["type"] == "result" for r in records)
+
+    def test_tune_requires_spec(self):
+        with pytest.raises(SystemExit, match="--spec"):
+            main(["tune", "--budget", "2"])
+
+    def test_tune_validates_budget(self, quick_spec):
+        with pytest.raises(SystemExit, match="--budget"):
+            main(["tune", "--spec", str(quick_spec), "--budget", "1"])
+
+    def test_tune_serve_mode(self, capsys):
+        assert (
+            main(
+                [
+                    "tune", "--serve", "--config", "small", "--budget", "2",
+                    "--rung-steps", "64", "--max-rungs", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "qps" in out and "winning configuration" in out
+
+    def test_train_help_mentions_perf_knobs(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["train", "--help"])
+        out = capsys.readouterr().out
+        assert "--bucket-mb" in out and "tiering" in out

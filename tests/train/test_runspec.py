@@ -164,3 +164,52 @@ class TestBuilders:
         spec = ModelSpec()
         with pytest.raises(dataclasses.FrozenInstanceError):
             spec.config = "large"
+
+
+class TestWithOverrides:
+    def test_single_field(self):
+        spec = RunSpec().with_overrides({"parallel.bucket_mb": 8.0})
+        assert spec.parallel.bucket_mb == 8.0
+        # Untouched sections are shared, not copied semantics: equal values.
+        assert spec.model == RunSpec().model
+
+    def test_multiple_sections_and_name(self):
+        spec = RunSpec().with_overrides(
+            {
+                "name": "tuned",
+                "data.prefetch_depth": 4,
+                "schedule.steps": 7,
+            }
+        )
+        assert spec.name == "tuned"
+        assert spec.data.prefetch_depth == 4
+        assert spec.schedule.steps == 7
+
+    def test_result_revalidates(self):
+        with pytest.raises(ValueError, match="imply each other"):
+            RunSpec().with_overrides({"precision.storage": "split_bf16"})
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            RunSpec().with_overrides({"parallels.ranks": 2})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown in RunSpec.parallel"):
+            RunSpec().with_overrides({"parallel.rank": 2})
+
+    def test_top_level_non_name_rejected(self):
+        with pytest.raises(ValueError, match="'name' or 'section.field'"):
+            RunSpec().with_overrides({"steps": 5})
+
+    def test_too_deep_path_rejected(self):
+        with pytest.raises(ValueError, match="nests too deep"):
+            RunSpec().with_overrides({"model.overrides.bottom_mlp": (4,)})
+
+    def test_original_untouched(self):
+        base = RunSpec()
+        base.with_overrides({"schedule.steps": 999})
+        assert base.schedule.steps == RunSpec().schedule.steps
+
+    def test_prefetch_depth_validated(self):
+        with pytest.raises(ValueError, match="prefetch_depth"):
+            RunSpec().with_overrides({"data.prefetch_depth": 0})
